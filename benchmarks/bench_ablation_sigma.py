@@ -1,0 +1,72 @@
+"""Section 5.4, "When approximation performs poorly" — the σ = 0 ablation.
+
+With no selectivity threshold, stages 2 and 3 must consider thousands of
+extremely rare taxi locations: ScanMatch degenerates toward a full pass and
+AnyActive-based approaches lose their ability to skip (nearly every block
+contains some needed rare candidate) while paying full block-selection
+overhead.  Stage-1 pruning is what makes the taxi queries tractable.
+"""
+
+from __future__ import annotations
+
+from common import RUN_SEEDS, config_for, format_table, get_prepared, save_report
+from repro.system import run_approach
+
+QUERIES = ("taxi-q1", "taxi-q2")
+APPROACHES = ("scanmatch", "fastmatch")
+
+
+def _run_sigma_ablation() -> dict:
+    results = {}
+    for query_name in QUERIES:
+        prepared = get_prepared(query_name)
+        scan = run_approach(
+            prepared, "scan", config_for(prepared.query.k), seed=RUN_SEEDS[0]
+        )
+        for sigma in (0.0008, 0.0):
+            config = config_for(prepared.query.k, sigma=sigma)
+            for approach in APPROACHES:
+                report = run_approach(
+                    prepared, approach, config, seed=RUN_SEEDS[0], audit=False
+                )
+                results[(query_name, sigma, approach)] = {
+                    "speedup": scan.elapsed_ns / report.elapsed_ns,
+                    "pruned": report.result.stats.pruned_candidates,
+                    "rows_read": report.counters["rows_delivered"],
+                }
+    return results
+
+
+def bench_ablation_sigma(benchmark):
+    results = benchmark.pedantic(_run_sigma_ablation, rounds=1, iterations=1)
+
+    headers = ["query", "sigma", "approach", "speedup", "pruned", "rows read"]
+    rows = [
+        [
+            q, f"{sigma:g}", approach,
+            f"{entry['speedup']:.2f}x",
+            str(entry["pruned"]),
+            f"{entry['rows_read']:,}",
+        ]
+        for (q, sigma, approach), entry in results.items()
+    ]
+    save_report(
+        "ablation_sigma",
+        format_table("Ablation — selectivity threshold sigma (taxi queries)", headers, rows),
+    )
+
+    for query_name in QUERIES:
+        with_sigma = results[(query_name, 0.0008, "fastmatch")]
+        without = results[(query_name, 0.0, "fastmatch")]
+        # Stage-1 pruning is critical (paper: performance degrades badly
+        # at sigma = 0, which forces consideration of thousands of rare
+        # candidates).
+        assert with_sigma["pruned"] > 3000
+        assert without["pruned"] == 0
+        assert with_sigma["speedup"] > 2 * without["speedup"], (
+            f"{query_name}: sigma pruning should be the difference between "
+            f"interactive and degenerate"
+        )
+        # Without sigma the approximate approach reads essentially all data.
+        prepared = get_prepared(query_name)
+        assert without["rows_read"] > 0.9 * prepared.shuffled.num_rows

@@ -1,0 +1,68 @@
+"""Figure 10 — effect of the lookahead parameter on FastMatch latency
+(paper §5.4).
+
+Paper claims: latency is "relatively robust" to lookahead for low-|V_Z|
+queries; for the high-cardinality queries (taxi-q*, police-q3) larger
+lookahead helps, with minor gains past a point; 1024 is an acceptable
+default everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import RUN_SEEDS, config_for, format_table, get_prepared, save_report
+from repro.data import QUERY_NAMES
+from repro.system import run_approach
+
+LOOKAHEAD_GRID = (8, 32, 128, 512, 1024, 2048)
+
+
+def _run_lookahead_sweep() -> dict:
+    results = {}
+    for query_name in QUERY_NAMES:
+        prepared = get_prepared(query_name)
+        series = []
+        for lookahead in LOOKAHEAD_GRID:
+            config = config_for(prepared.query.k, lookahead=lookahead)
+            report = run_approach(
+                prepared, "fastmatch", config, seed=RUN_SEEDS[0], audit=False
+            )
+            series.append(report.elapsed_seconds)
+        results[query_name] = series
+    return results
+
+
+def bench_fig10(benchmark):
+    results = benchmark.pedantic(_run_lookahead_sweep, rounds=1, iterations=1)
+
+    headers = ["query"] + [f"la={la}" for la in LOOKAHEAD_GRID]
+    rows = [
+        [query_name] + [f"{seconds:.4f}" for seconds in results[query_name]]
+        for query_name in QUERY_NAMES
+    ]
+    save_report(
+        "fig10_lookahead",
+        format_table(
+            "Figure 10 — FastMatch wall time (simulated s) vs lookahead", headers, rows
+        ),
+    )
+    benchmark.extra_info["lookahead"] = results
+
+    for query_name in QUERY_NAMES:
+        series = np.asarray(results[query_name])
+        at_default = series[LOOKAHEAD_GRID.index(1024)]
+        # The default must be within 20% of the best setting for the query
+        # (the paper: "we found the default value of 1024 to be acceptable
+        # in all circumstances").
+        assert at_default <= 1.2 * series.min(), (
+            f"{query_name}: lookahead=1024 far from best "
+            f"({at_default:.4f}s vs {series.min():.4f}s)"
+        )
+    # High-cardinality queries benefit from more lookahead (paper's headline
+    # effect): tiny lookahead is materially slower than the default.
+    for query_name in ("taxi-q1", "taxi-q2", "police-q3"):
+        series = results[query_name]
+        assert series[0] > 1.1 * series[LOOKAHEAD_GRID.index(1024)], (
+            f"{query_name}: lookahead=8 should be clearly slower than 1024"
+        )

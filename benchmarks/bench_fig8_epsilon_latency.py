@@ -1,0 +1,43 @@
+"""Figure 8 — effect of ε on query latency (paper §5.4).
+
+The paper's claim: "In almost all cases, increasing the tolerance parameter
+ε leads to reduced runtime".  We sweep ε per query/approach and assert the
+downward trend (comparing the smallest-ε latency to the largest-ε latency).
+
+SyncMatch is omitted on the taxi queries, exactly as in the paper's figure
+("SYNCMATCH not shown").
+"""
+
+from __future__ import annotations
+
+from common import SWEEP_APPROACHES, format_table, save_report
+from conftest import EPSILON_GRID, epsilon_sweep
+from repro.data import QUERY_NAMES
+
+
+def bench_fig8(benchmark):
+    results = benchmark.pedantic(epsilon_sweep, rounds=1, iterations=1)
+
+    headers = ["query", "approach"] + [f"eps={e:g}" for e in EPSILON_GRID]
+    rows = []
+    for query_name in QUERY_NAMES:
+        for approach in SWEEP_APPROACHES[query_name]:
+            series = results[query_name][approach]
+            rows.append(
+                [query_name, approach] + [f"{seconds:.4f}" for _, seconds, _ in series]
+            )
+    save_report(
+        "fig8_epsilon_latency",
+        format_table("Figure 8 — wall time (simulated s) vs epsilon", headers, rows),
+    )
+
+    # Latency should not increase as epsilon grows (allowing round noise).
+    for query_name in QUERY_NAMES:
+        for approach in SWEEP_APPROACHES[query_name]:
+            series = results[query_name][approach]
+            first = series[0][1]
+            last = series[-1][1]
+            assert last <= first * 1.15, (
+                f"{query_name}/{approach}: latency rose from eps={series[0][0]} "
+                f"({first:.4f}s) to eps={series[-1][0]} ({last:.4f}s)"
+            )

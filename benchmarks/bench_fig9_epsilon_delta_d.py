@@ -1,0 +1,37 @@
+"""Figure 9 — effect of ε on Δd, the total relative error in visual distance
+(paper §5.4).
+
+The paper's claim: Δd grows (mildly) with ε but "was never more than 5%
+larger than optimal for any query, even for the largest values of ε".
+"""
+
+from __future__ import annotations
+
+from common import SWEEP_APPROACHES, format_table, save_report
+from conftest import EPSILON_GRID, epsilon_sweep
+from repro.data import QUERY_NAMES
+
+
+def bench_fig9(benchmark):
+    results = benchmark.pedantic(epsilon_sweep, rounds=1, iterations=1)
+
+    headers = ["query", "approach"] + [f"eps={e:g}" for e in EPSILON_GRID]
+    rows = []
+    for query_name in QUERY_NAMES:
+        for approach in SWEEP_APPROACHES[query_name]:
+            series = results[query_name][approach]
+            rows.append(
+                [query_name, approach] + [f"{dd:+.4f}" for _, _, dd in series]
+            )
+    save_report(
+        "fig9_epsilon_delta_d",
+        format_table("Figure 9 — delta_d vs epsilon", headers, rows),
+    )
+
+    # The paper's 5% bound on delta_d, at every epsilon, for every approach.
+    for query_name in QUERY_NAMES:
+        for approach in SWEEP_APPROACHES[query_name]:
+            for eps, _, dd in results[query_name][approach]:
+                assert dd <= 0.05, (
+                    f"{query_name}/{approach} at eps={eps}: delta_d={dd:.4f} > 5%"
+                )

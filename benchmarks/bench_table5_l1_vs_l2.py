@@ -1,0 +1,74 @@
+"""Table 5 — comparing top-k sets under normalized L1 vs L2 (paper §5.4).
+
+The paper validates its choice of L1 by showing the exact top-k under the
+two metrics mostly coincide on the FLIGHTS queries: overlap ≥ 60% and the
+relative difference in total L1 distance ≤ 4%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import format_table, get_prepared, save_report
+from repro.core.distance import normalize
+
+FLIGHTS_QUERIES = ("flights-q1", "flights-q2", "flights-q3", "flights-q4")
+
+#: Paper Table 5 (overlap fraction, relative distance difference).
+PAPER_TABLE5 = {
+    "flights-q1": (0.9, 0.01),
+    "flights-q2": (0.7, 0.04),
+    "flights-q3": (0.6, 0.03),
+    "flights-q4": (0.8, 0.01),
+}
+
+
+def _top_k(distances: np.ndarray, eligible: np.ndarray, k: int) -> np.ndarray:
+    masked = np.where(eligible, distances, np.inf)
+    return np.argsort(masked, kind="stable")[:k]
+
+
+def _run_table5() -> dict:
+    results = {}
+    for query_name in FLIGHTS_QUERIES:
+        prepared = get_prepared(query_name)
+        k = prepared.query.k
+        counts = prepared.exact_counts.astype(np.float64)
+        rows = counts.sum(axis=1)
+        eligible = rows > 0
+        r_bar = normalize(counts)
+        q_bar = normalize(prepared.target)
+        l1 = np.abs(r_bar - q_bar[None, :]).sum(axis=1)
+        l2 = np.sqrt(np.square(r_bar - q_bar[None, :]).sum(axis=1))
+
+        top_l1 = _top_k(l1, eligible, k)
+        top_l2 = _top_k(l2, eligible, k)
+        overlap = len(set(top_l1.tolist()) & set(top_l2.tolist())) / k
+        rel_diff = (l1[top_l2].sum() - l1[top_l1].sum()) / l1[top_l1].sum()
+        results[query_name] = (overlap, rel_diff)
+    return results
+
+
+def bench_table5(benchmark):
+    results = benchmark.pedantic(_run_table5, rounds=1, iterations=1)
+
+    headers = ["query", "overlap", "rel. L1 diff", "paper overlap", "paper diff"]
+    rows = []
+    for query_name in FLIGHTS_QUERIES:
+        overlap, rel_diff = results[query_name]
+        p_overlap, p_diff = PAPER_TABLE5[query_name]
+        rows.append([
+            query_name, f"{overlap:.2f}", f"{rel_diff:.3f}",
+            f"{p_overlap:.2f}", f"{p_diff:.2f}",
+        ])
+    save_report(
+        "table5_l1_vs_l2",
+        format_table("Table 5 — exact top-k under L1 vs L2", headers, rows),
+    )
+    benchmark.extra_info["table5"] = {q: results[q] for q in FLIGHTS_QUERIES}
+
+    # Paper's qualitative claims: strong overlap, tiny relative difference.
+    for query_name in FLIGHTS_QUERIES:
+        overlap, rel_diff = results[query_name]
+        assert overlap >= 0.6, f"{query_name}: L1/L2 top-k overlap below paper range"
+        assert rel_diff <= 0.05, f"{query_name}: relative L1 difference above 5%"

@@ -1,0 +1,54 @@
+"""Benchmark-suite configuration: cached sweeps shared across bench modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import RUN_SEEDS, SWEEP_APPROACHES, get_prepared, config_for
+from repro.core.guarantees import delta_d
+from repro.data import QUERY_NAMES
+from repro.system import run_approach
+
+#: ε values swept by Figures 8 and 9 (subset of the paper's 0.02…0.11 grid,
+#: chosen so the full sweep stays laptop-friendly).
+EPSILON_GRID = (0.04, 0.06, 0.08, 0.10, 0.11)
+
+_sweep_cache: dict = {}
+
+
+def epsilon_sweep() -> dict:
+    """Run (once per session) the ε sweep behind Figures 8 and 9.
+
+    Returns {query: {approach: [(eps, seconds, delta_d), ...]}}.
+    """
+    if "eps" in _sweep_cache:
+        return _sweep_cache["eps"]
+    results: dict = {}
+    for query_name in QUERY_NAMES:
+        prepared = get_prepared(query_name)
+        per_approach: dict = {}
+        for approach in SWEEP_APPROACHES[query_name]:
+            series = []
+            for eps in EPSILON_GRID:
+                config = config_for(prepared.query.k, epsilon=eps)
+                report = run_approach(
+                    prepared, approach, config, seed=RUN_SEEDS[0], audit=False
+                )
+                dd = delta_d(
+                    np.asarray(report.result.matching),
+                    prepared.exact_counts,
+                    prepared.target,
+                    prepared.query.k,
+                    config.sigma,
+                )
+                series.append((eps, report.elapsed_seconds, dd))
+            per_approach[approach] = series
+        results[query_name] = per_approach
+    _sweep_cache["eps"] = results
+    return results
+
+
+@pytest.fixture(scope="session")
+def eps_sweep_results():
+    return epsilon_sweep()

@@ -1,0 +1,95 @@
+"""Census exploration (paper Example 1): which countries have income
+distributions most similar to Greece?
+
+Builds a synthetic census (countries × income brackets), then runs the full
+FastMatch system — shuffled column store, block layout, bitmap index,
+AnyActive block selection with lookahead — and compares against the exact
+Scan baseline, reporting simulated latency and the guarantee audit.
+
+Run:  python examples/census_income.py
+"""
+
+import numpy as np
+
+from repro.core import HistSimConfig
+from repro.core.target import TargetSpec
+from repro.data.generator import assemble, at_distance, conditional_column, sizes_from_weights, zipf_weights
+from repro.query import HistogramQuery
+from repro.storage import CategoricalAttribute, ColumnTable, Schema
+from repro.system import PreparedQuery, run_approach
+
+rng = np.random.default_rng(7)
+
+# ---------------------------------------------------------------------------
+# 1. Synthetic census: 150 countries, 7 income brackets, 1.2M residents.
+#    Greece gets a characteristic bracket profile; a handful of countries
+#    (its Mediterranean neighbours, say) are engineered to be close.
+# ---------------------------------------------------------------------------
+NUM_COUNTRIES, NUM_BRACKETS, ROWS = 150, 7, 1_200_000
+GREECE = 17
+NEIGHBOURS = (23, 41, 58, 96)  # planted close matches
+
+country_names = [f"country{i:03d}" for i in range(NUM_COUNTRIES)]
+country_names[GREECE] = "greece"
+
+greek_profile = np.array([0.08, 0.18, 0.27, 0.22, 0.13, 0.08, 0.04])
+profiles = np.zeros((NUM_COUNTRIES, NUM_BRACKETS))
+profiles[GREECE] = greek_profile
+for rank, country in enumerate(NEIGHBOURS):
+    profiles[country] = at_distance(greek_profile, 0.05 + 0.05 * rank, rng)
+for country in range(NUM_COUNTRIES):
+    if profiles[country].sum() == 0:
+        profiles[country] = at_distance(
+            greek_profile, float(rng.uniform(0.5, 1.2)), rng
+        )
+
+sizes = sizes_from_weights(zipf_weights(NUM_COUNTRIES, 0.6), ROWS, rng, min_rows=1500)
+columns = assemble(
+    {
+        "country": np.repeat(np.arange(NUM_COUNTRIES, dtype=np.int64), sizes),
+        "income_bracket": conditional_column(sizes, profiles, rng),
+    },
+    rng,
+)
+schema = Schema(
+    (
+        CategoricalAttribute("country", tuple(country_names)),
+        CategoricalAttribute(
+            "income_bracket", tuple(f"bracket{i + 1}" for i in range(NUM_BRACKETS))
+        ),
+    )
+)
+census = ColumnTable(schema, columns)
+
+# ---------------------------------------------------------------------------
+# 2. The query of Definition 1 with Greece's histogram as the visual target:
+#    SELECT income_bracket, COUNT(*) FROM census
+#    WHERE country = $COUNTRY GROUP BY income_bracket
+# ---------------------------------------------------------------------------
+query = HistogramQuery(
+    candidate_attribute="country",
+    grouping_attribute="income_bracket",
+    target=TargetSpec(kind="candidate", candidate=GREECE),
+    k=5,
+    name="census-greece",
+)
+prepared = PreparedQuery.prepare(census, query, rng)
+config = HistSimConfig(k=5, epsilon=0.1, delta=0.05, sigma=0.0005, stage1_samples=30_000)
+
+print("=== FastMatch census example: countries similar to Greece ===")
+scan = run_approach(prepared, "scan", config, seed=1)
+for approach in ("scan", "scanmatch", "syncmatch", "fastmatch"):
+    report = run_approach(prepared, approach, config, seed=1)
+    names = [country_names[c] for c in report.result.matching]
+    print(
+        f"{approach:>10s}: {report.elapsed_seconds * 1e3:7.2f} ms simulated "
+        f"({report.speedup_over(scan):5.2f}x vs scan) "
+        f"guarantees={'OK' if report.audit.ok else 'VIOLATED'}  top-5={names}"
+    )
+
+fast = run_approach(prepared, "fastmatch", config, seed=1)
+print("\nFastMatch read "
+      f"{fast.counters['rows_delivered']:,} of {census.num_rows:,} rows "
+      f"({fast.counters['rows_delivered'] / census.num_rows:.1%}), "
+      f"skipped {fast.counters['blocks_skipped']:,} blocks via AnyActive+lookahead")
+assert GREECE in fast.result.matching

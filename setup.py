@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package available).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install code path (`pip install -e . --no-use-pep517`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Adaptive Sampling for Rapidly Matching Histograms"
+(FastMatch / HistSim, Macke et al., VLDB 2018).
+
+Subpackages:
+
+- :mod:`repro.core` — the HistSim algorithm and its statistical machinery.
+- :mod:`repro.storage` — column-store, block layout, simulated I/O and costs.
+- :mod:`repro.bitmap` — bit-per-block bitmap indexes and density maps.
+- :mod:`repro.sampling` — block-selection policies and the sampling engine.
+- :mod:`repro.system` — the FastMatch architecture and baselines.
+- :mod:`repro.query` — histogram-generating query templates and exact executor.
+- :mod:`repro.data` — synthetic FLIGHTS / TAXI / POLICE datasets and workloads.
+- :mod:`repro.extensions` — Appendix A generalizations.
+"""
+
+__version__ = "1.0.0"
+
+from . import bitmap, core, data, extensions, query, sampling, storage, system
+from .match import match_histograms
+
+__all__ = [
+    "bitmap",
+    "core",
+    "data",
+    "extensions",
+    "query",
+    "sampling",
+    "storage",
+    "system",
+    "match_histograms",
+    "__version__",
+]

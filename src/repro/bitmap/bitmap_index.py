@@ -1,0 +1,117 @@
+"""Bit-per-block bitmap index (paper Section 4.1, "Bitmap Index Structures").
+
+For an attribute value ``v``, bit ``b`` is set iff block ``b`` contains at
+least one tuple with that value.  This is the paper's storage-frugal variant
+of the per-tuple bitmaps used in earlier sampling engines — one bit per
+block per value — and is what the AnyActive policy probes.
+
+Bits are stored MSB-first inside each byte (NumPy ``packbits`` convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BlockBitmapIndex"]
+
+
+class BlockBitmapIndex:
+    """Packed presence bitmaps: shape ``(cardinality, ⌈num_blocks/8⌉)`` bytes."""
+
+    def __init__(self, packed: np.ndarray, cardinality: int, num_blocks: int) -> None:
+        expected_bytes = -(-num_blocks // 8)
+        if packed.shape != (cardinality, expected_bytes):
+            raise ValueError(
+                f"packed shape {packed.shape} does not match "
+                f"({cardinality}, {expected_bytes})"
+            )
+        self._packed = packed
+        self.cardinality = cardinality
+        self.num_blocks = num_blocks
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(cls, column: np.ndarray, cardinality: int, block_size: int) -> "BlockBitmapIndex":
+        """Build from an encoded column laid out in ``block_size``-row blocks."""
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise ValueError("column must be 1-D")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        num_rows = column.size
+        num_blocks = -(-num_rows // block_size) if num_rows else 0
+        bits = np.zeros((cardinality, max(num_blocks, 1)), dtype=np.uint8)
+        if num_rows:
+            if column.min() < 0 or column.max() >= cardinality:
+                raise ValueError("column codes out of range")
+            blocks = np.arange(num_rows, dtype=np.int64) // block_size
+            bits[column, blocks] = 1
+        packed = np.packbits(bits[:, :max(num_blocks, 0)], axis=1)
+        if num_blocks == 0:
+            packed = np.zeros((cardinality, 0), dtype=np.uint8)
+        return cls(packed, cardinality, num_blocks)
+
+    # ----------------------------------------------------------------- queries
+
+    def contains(self, value: int, block: int) -> bool:
+        """Is there any tuple with ``value`` in ``block``? (one probe)"""
+        if not 0 <= value < self.cardinality:
+            raise ValueError(f"value {value} out of range")
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(f"block {block} out of range")
+        byte = self._packed[value, block >> 3]
+        return bool((byte >> (7 - (block & 7))) & 1)
+
+    def blocks_with_value(self, value: int) -> np.ndarray:
+        """Boolean presence vector over all blocks for one value."""
+        if not 0 <= value < self.cardinality:
+            raise ValueError(f"value {value} out of range")
+        bits = np.unpackbits(self._packed[value])[: self.num_blocks]
+        return bits.astype(bool)
+
+    def chunk_presence(
+        self, values: np.ndarray, start_block: int, stop_block: int
+    ) -> np.ndarray:
+        """Presence matrix ``(len(values), stop−start)`` for a block window.
+
+        This is the batch the lookahead thread (Algorithm 3) walks: for each
+        candidate row, the window's bits are contiguous in storage.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if not 0 <= start_block <= stop_block <= self.num_blocks:
+            raise ValueError(
+                f"window [{start_block}, {stop_block}) outside [0, {self.num_blocks})"
+            )
+        if values.size == 0 or stop_block == start_block:
+            return np.zeros((values.size, stop_block - start_block), dtype=bool)
+        if values.min() < 0 or values.max() >= self.cardinality:
+            raise ValueError("values out of range")
+        byte0 = start_block >> 3
+        byte1 = -(-stop_block // 8)
+        window = np.unpackbits(self._packed[values, byte0:byte1], axis=1)
+        offset = start_block - byte0 * 8
+        return window[:, offset : offset + (stop_block - start_block)].astype(bool)
+
+    def first_present(
+        self, values: np.ndarray, start_block: int, stop_block: int
+    ) -> np.ndarray:
+        """For each block in the window: the index *within* ``values`` of the
+        first value present, or ``len(values)`` when none is.
+
+        This models Algorithm 2's early-exit probe loop: the number of probes
+        spent on block ``b`` is ``first_present[b] + 1`` when a value is found
+        and ``len(values)`` when the block is skipped.
+        """
+        presence = self.chunk_presence(values, start_block, stop_block)
+        if presence.size == 0:
+            return np.full(stop_block - start_block, values.size, dtype=np.int64)
+        first = np.argmax(presence, axis=0).astype(np.int64)
+        none_present = ~presence.any(axis=0)
+        first[none_present] = values.size
+        return first
+
+    @property
+    def nbytes(self) -> int:
+        """Index footprint — the quantity the residency model cares about."""
+        return int(self._packed.nbytes)

@@ -1,0 +1,31 @@
+"""Index construction helpers: build bitmap indexes / density maps for the
+attributes a workload will filter or group on (paper Section 4.1)."""
+
+from __future__ import annotations
+
+from ..storage.shuffle import ShuffledTable
+from .bitmap_index import BlockBitmapIndex
+from .density_map import DensityMap
+
+__all__ = ["build_bitmap_index", "build_density_map", "build_indexes"]
+
+
+def build_bitmap_index(shuffled: ShuffledTable, attribute: str) -> BlockBitmapIndex:
+    """Bit-per-block index over one attribute of a shuffled table."""
+    column = shuffled.table.column(attribute)
+    cardinality = shuffled.table.cardinality(attribute)
+    return BlockBitmapIndex.build(column, cardinality, shuffled.layout.block_size)
+
+
+def build_density_map(shuffled: ShuffledTable, attribute: str) -> DensityMap:
+    """Per-block count map over one attribute of a shuffled table."""
+    column = shuffled.table.column(attribute)
+    cardinality = shuffled.table.cardinality(attribute)
+    return DensityMap.build(column, cardinality, shuffled.layout.block_size)
+
+
+def build_indexes(
+    shuffled: ShuffledTable, attributes: tuple[str, ...]
+) -> dict[str, BlockBitmapIndex]:
+    """Bitmap indexes for several attributes at once."""
+    return {name: build_bitmap_index(shuffled, name) for name in attributes}

@@ -1,0 +1,164 @@
+"""Word-aligned hybrid (WAH) compressed bitmaps (paper Section 4.1).
+
+The paper notes its bitmaps "are amenable to significant compression
+[74, 75]" — Wu et al.'s WAH scheme.  A bitmap is stored as a sequence of
+31-bit-payload words: *literal* words carry 31 raw bits; *fill* words carry
+a run of identical 31-bit groups (all-zero or all-one) with a repeat count.
+Sparse presence bitmaps (rare candidates touch few blocks) compress by
+orders of magnitude, which is what makes a per-value-per-block index
+affordable at the paper's 64M-block scale.
+
+This implementation is self-contained and exact: ``compress`` /
+``decompress`` round-trip bit-perfectly, and ``any_in_range`` answers the
+AnyActive probe ("any set bit among blocks [lo, hi)?") directly on the
+compressed form without materializing bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WahBitmap", "compress_index"]
+
+_PAYLOAD = 31
+_FILL_FLAG = np.uint32(1 << 31)
+_FILL_VALUE = np.uint32(1 << 30)
+_COUNT_MASK = np.uint32((1 << 30) - 1)
+
+
+class WahBitmap:
+    """An immutable WAH-compressed bit vector."""
+
+    def __init__(self, words: np.ndarray, num_bits: int) -> None:
+        self._words = words.astype(np.uint32, copy=False)
+        self.num_bits = int(num_bits)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def compress(cls, bits: np.ndarray) -> "WahBitmap":
+        """Compress a boolean vector into WAH words."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1:
+            raise ValueError("bits must be a 1-D boolean vector")
+        num_bits = bits.size
+        if num_bits == 0:
+            return cls(np.empty(0, dtype=np.uint32), 0)
+
+        # Pad to a multiple of the payload and view as 31-bit groups.
+        groups = -(-num_bits // _PAYLOAD)
+        padded = np.zeros(groups * _PAYLOAD, dtype=bool)
+        padded[:num_bits] = bits
+        payload = padded.reshape(groups, _PAYLOAD)
+        weights = (1 << np.arange(_PAYLOAD - 1, -1, -1)).astype(np.uint32)
+        values = (payload * weights).sum(axis=1, dtype=np.uint64).astype(np.uint32)
+
+        words: list[np.uint32] = []
+        i = 0
+        all_ones = np.uint32((1 << _PAYLOAD) - 1)
+        while i < groups:
+            value = values[i]
+            if value == 0 or value == all_ones:
+                run = 1
+                while i + run < groups and values[i + run] == value:
+                    run += 1
+                remaining = run
+                while remaining > 0:
+                    chunk = min(remaining, int(_COUNT_MASK))
+                    word = _FILL_FLAG | np.uint32(chunk)
+                    if value == all_ones:
+                        word |= _FILL_VALUE
+                    words.append(word)
+                    remaining -= chunk
+                i += run
+            else:
+                words.append(value)
+                i += 1
+        return cls(np.asarray(words, dtype=np.uint32), num_bits)
+
+    # ------------------------------------------------------------------ access
+
+    def decompress(self) -> np.ndarray:
+        """Back to a boolean vector (exact round trip)."""
+        out = np.zeros(-(-self.num_bits // _PAYLOAD) * _PAYLOAD, dtype=bool)
+        pos = 0
+        for word in self._words:
+            if word & _FILL_FLAG:
+                count = int(word & _COUNT_MASK)
+                if word & _FILL_VALUE:
+                    out[pos : pos + count * _PAYLOAD] = True
+                pos += count * _PAYLOAD
+            else:
+                bits = (int(word) >> np.arange(_PAYLOAD - 1, -1, -1)) & 1
+                out[pos : pos + _PAYLOAD] = bits.astype(bool)
+                pos += _PAYLOAD
+        return out[: self.num_bits]
+
+    def get(self, position: int) -> bool:
+        """One bit, read off the compressed form."""
+        if not 0 <= position < self.num_bits:
+            raise IndexError(f"bit {position} out of range [0, {self.num_bits})")
+        group, offset = divmod(position, _PAYLOAD)
+        cursor = 0
+        for word in self._words:
+            if word & _FILL_FLAG:
+                count = int(word & _COUNT_MASK)
+                if cursor <= group < cursor + count:
+                    return bool(word & _FILL_VALUE)
+                cursor += count
+            else:
+                if cursor == group:
+                    return bool((int(word) >> (_PAYLOAD - 1 - offset)) & 1)
+                cursor += 1
+        raise AssertionError("walked past the end of the compressed stream")
+
+    def any_in_range(self, lo: int, hi: int) -> bool:
+        """AnyActive probe: any set bit among positions [lo, hi)?
+
+        Answered on the compressed stream — fills are skipped in O(1) each,
+        which is the compressed-index analogue of the lookahead scan.
+        """
+        if not 0 <= lo <= hi <= self.num_bits:
+            raise ValueError(f"range [{lo}, {hi}) outside [0, {self.num_bits})")
+        if lo == hi:
+            return False
+        first_group, first_offset = divmod(lo, _PAYLOAD)
+        last_group, last_offset = divmod(hi - 1, _PAYLOAD)
+        cursor = 0
+        for word in self._words:
+            if word & _FILL_FLAG:
+                count = int(word & _COUNT_MASK)
+                span_lo, span_hi = cursor, cursor + count
+                if span_hi > first_group and span_lo <= last_group:
+                    if word & _FILL_VALUE:
+                        return True
+                cursor += count
+            else:
+                if first_group <= cursor <= last_group:
+                    value = int(word)
+                    start = first_offset if cursor == first_group else 0
+                    stop = last_offset if cursor == last_group else _PAYLOAD - 1
+                    mask = ((1 << (stop - start + 1)) - 1) << (_PAYLOAD - 1 - stop)
+                    if value & mask:
+                        return True
+                cursor += 1
+            if cursor > last_group:
+                break
+        return False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._words.nbytes)
+
+    def compression_ratio(self) -> float:
+        """Uncompressed bit-bytes divided by compressed bytes."""
+        raw = -(-self.num_bits // 8)
+        return raw / max(self.nbytes, 1)
+
+
+def compress_index(presence_matrix: np.ndarray) -> list[WahBitmap]:
+    """Compress a (values × blocks) presence matrix row by row."""
+    presence_matrix = np.asarray(presence_matrix, dtype=bool)
+    if presence_matrix.ndim != 2:
+        raise ValueError("presence matrix must be 2-D")
+    return [WahBitmap.compress(row) for row in presence_matrix]

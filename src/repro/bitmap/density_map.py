@@ -1,0 +1,104 @@
+"""Per-block value counts — "density maps" (paper Appendix A.1.2, citing [48]).
+
+Where a bitmap answers "does block ``b`` contain value ``v`` at all?", a
+density map answers "how many tuples with value ``v`` does block ``b``
+hold?", which is what AnyActive needs for candidates defined by *arbitrary
+boolean predicates* over attribute values.
+
+Stored CSR-style per block, so the footprint is one entry per distinct
+``(block, value)`` pair rather than a dense ``cardinality × num_blocks``
+matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DensityMap"]
+
+
+class DensityMap:
+    """CSR per-block (value, count) pairs for one encoded column."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        values: np.ndarray,
+        counts: np.ndarray,
+        cardinality: int,
+        num_blocks: int,
+    ) -> None:
+        if indptr.shape != (num_blocks + 1,):
+            raise ValueError("indptr must have num_blocks + 1 entries")
+        if values.shape != counts.shape:
+            raise ValueError("values and counts must align")
+        self._indptr = indptr
+        self._values = values
+        self._counts = counts
+        self.cardinality = cardinality
+        self.num_blocks = num_blocks
+
+    @classmethod
+    def build(cls, column: np.ndarray, cardinality: int, block_size: int) -> "DensityMap":
+        column = np.asarray(column)
+        if column.ndim != 1:
+            raise ValueError("column must be 1-D")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        num_rows = column.size
+        num_blocks = -(-num_rows // block_size) if num_rows else 0
+        if num_rows == 0:
+            return cls(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                       np.empty(0, dtype=np.int64), cardinality, 0)
+        if column.min() < 0 or column.max() >= cardinality:
+            raise ValueError("column codes out of range")
+        blocks = np.arange(num_rows, dtype=np.int64) // block_size
+        keys = blocks * cardinality + column
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        key_blocks = unique_keys // cardinality
+        values = unique_keys % cardinality
+        indptr = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.add.at(indptr, key_blocks + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr, values.astype(np.int64), counts.astype(np.int64),
+                   cardinality, num_blocks)
+
+    def block_counts(self, block: int) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct values in a block and their tuple counts."""
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(f"block {block} out of range [0, {self.num_blocks})")
+        lo, hi = self._indptr[block], self._indptr[block + 1]
+        return self._values[lo:hi], self._counts[lo:hi]
+
+    def tuples_matching(self, value_mask: np.ndarray, start_block: int, stop_block: int) -> np.ndarray:
+        """Per-block tuple counts matching a boolean mask over values.
+
+        This is the "estimate the number of active tuples in a block"
+        primitive Appendix A.1.2 needs for predicate candidates.
+        """
+        value_mask = np.asarray(value_mask, dtype=bool)
+        if value_mask.shape != (self.cardinality,):
+            raise ValueError(f"value_mask must have {self.cardinality} entries")
+        if not 0 <= start_block <= stop_block <= self.num_blocks:
+            raise ValueError("block window out of range")
+        lo = self._indptr[start_block]
+        hi = self._indptr[stop_block]
+        vals = self._values[lo:hi]
+        cnts = self._counts[lo:hi]
+        matched = np.where(value_mask[vals], cnts, 0)
+        # Re-aggregate per block via the indptr offsets.
+        out = np.zeros(stop_block - start_block, dtype=np.int64)
+        block_of_entry = np.searchsorted(self._indptr, np.arange(lo, hi), side="right") - 1
+        np.add.at(out, block_of_entry - start_block, matched)
+        return out
+
+    def value_totals(self) -> np.ndarray:
+        """Total rows per value across all blocks (index-build statistics —
+        how the engine knows each candidate's ``N_i``)."""
+        totals = np.zeros(self.cardinality, dtype=np.int64)
+        np.add.at(totals, self._values, self._counts)
+        return totals
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._indptr.nbytes + self._values.nbytes + self._counts.nbytes)

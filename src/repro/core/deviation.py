@@ -1,0 +1,128 @@
+"""Concentration bounds for empirical histograms (paper Theorem 1 and Eq. 1).
+
+Theorem 1 (the "folklore" L1 learning bound, proved via McDiarmid): after
+``n`` samples the empirical normalized histogram over ``v`` groups satisfies
+``||r̄ − r̄*||₁ < ε`` with probability ``> 1 − δ`` where
+
+    ε(n, δ) = sqrt( (2/n) · (v·ln 2 + ln(1/δ)) )
+
+Equivalently ``δ(n, ε) = 2^v · exp(−ε²n/2)`` and
+``n(ε, δ) = (2/ε²) · (v·ln 2 + ln(1/δ))``.
+
+All computations are done in log space: ``2^v`` overflows ``float64`` for
+``v ≳ 1024`` and FLIGHTS-q4 already uses ``v = 351``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "epsilon_given_samples",
+    "samples_for_deviation",
+    "deviation_log_pvalue",
+    "deviation_pvalue",
+    "stage2_sample_budget",
+    "stage3_sample_target",
+]
+
+_LN2 = float(np.log(2.0))
+
+
+def _validate_support(num_groups: int) -> None:
+    if num_groups < 1:
+        raise ValueError(f"histogram support must have at least one group, got {num_groups}")
+
+
+def epsilon_given_samples(n: np.ndarray | int, delta: float, num_groups: int) -> np.ndarray:
+    """Deviation radius ε such that ``d(r, r*) < ε`` w.p. ``> 1−delta`` after ``n`` samples.
+
+    Vectorized over ``n``.  ``n = 0`` yields ``inf`` (no information).
+    """
+    _validate_support(num_groups)
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    n_arr = np.asarray(n, dtype=np.float64)
+    if np.any(n_arr < 0):
+        raise ValueError("sample counts must be non-negative")
+    with np.errstate(divide="ignore"):
+        eps = np.sqrt(2.0 / n_arr * (num_groups * _LN2 + np.log(1.0 / delta)))
+    eps = np.where(n_arr > 0, eps, np.inf)
+    if np.ndim(n) == 0:
+        return float(eps)
+    return eps
+
+
+def samples_for_deviation(epsilon: float, delta: float, num_groups: int) -> int:
+    """Samples needed so the empirical histogram is within ``epsilon`` w.p. ``> 1−delta``.
+
+    Inverts Theorem 1; matches the paper's optimality remark
+    ``n = (|V_X| log 4 + 2 log(1/δ)) / ε²`` up to rounding.
+    """
+    _validate_support(num_groups)
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return int(np.ceil(2.0 / (epsilon * epsilon) * (num_groups * _LN2 + np.log(1.0 / delta))))
+
+
+def deviation_log_pvalue(
+    epsilon: np.ndarray | float, n: np.ndarray | int, num_groups: int
+) -> np.ndarray:
+    """``ln P(d(r, r*) ≥ ε)`` upper bound after ``n`` samples: ``v·ln2 − ε²n/2``.
+
+    This is the log of the stage-2 P-value of Section 3.4.3 (with the ``n``
+    factor the paper's final display accidentally drops).  Non-positive
+    ``epsilon`` yields ``ln 1 = 0`` — observing a deviation of zero or less is
+    never surprising, so the test cannot reject.  ``epsilon = inf`` yields
+    ``−inf`` (P-value 0): the null is vacuously false (paper line 22).
+    """
+    _validate_support(num_groups)
+    eps_arr = np.asarray(epsilon, dtype=np.float64)
+    n_arr = np.asarray(n, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        log_p = num_groups * _LN2 - 0.5 * np.square(eps_arr) * n_arr
+    # inf * 0 -> nan when n == 0; no samples means no evidence (P-value 1).
+    log_p = np.where(np.isnan(log_p), 0.0, log_p)
+    log_p = np.where(eps_arr <= 0, 0.0, log_p)
+    log_p = np.where(np.isposinf(eps_arr), -np.inf, log_p)
+    log_p = np.minimum(log_p, 0.0)
+    if np.ndim(epsilon) == 0 and np.ndim(n) == 0:
+        return float(log_p)
+    return log_p
+
+
+def deviation_pvalue(
+    epsilon: np.ndarray | float, n: np.ndarray | int, num_groups: int
+) -> np.ndarray:
+    """P-value upper bound ``min(1, 2^v · exp(−ε²n/2))`` (clamped, overflow-safe)."""
+    return np.exp(deviation_log_pvalue(epsilon, n, num_groups))
+
+
+def stage2_sample_budget(
+    epsilon_prime: np.ndarray, delta_upper: float, num_groups: int
+) -> np.ndarray:
+    """Eq. 1: per-candidate fresh-sample budget ``n'_i`` for one stage-2 round.
+
+    ``n'_i = 2(|V_X| ln 2 − ln δ_upper) / ε'²_i`` where ``ε'_i`` is the margin
+    the candidate's round estimate must beat for its test to reject.
+    Non-positive margins (which the split-point construction rules out, but
+    which we guard against) produce an infinite budget.
+    """
+    _validate_support(num_groups)
+    if not 0.0 < delta_upper < 1.0:
+        raise ValueError(f"delta_upper must be in (0, 1), got {delta_upper}")
+    eps = np.asarray(epsilon_prime, dtype=np.float64)
+    numerator = 2.0 * (num_groups * _LN2 - np.log(delta_upper))
+    with np.errstate(divide="ignore"):
+        budget = numerator / np.square(eps)
+    budget = np.where(eps > 0, np.ceil(budget), np.inf)
+    return budget
+
+
+def stage3_sample_target(epsilon: float, delta: float, k: int, num_groups: int) -> int:
+    """Stage-3 cumulative target (Algorithm 1, line 26): ``(2/ε²)(v·ln2 + ln(3k/δ))``."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return samples_for_deviation(epsilon, delta / (3.0 * k), num_groups)

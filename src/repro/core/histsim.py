@@ -1,0 +1,315 @@
+"""The HistSim algorithm (paper Algorithm 1, Section 3).
+
+Three stages, each spending an error budget of δ/3:
+
+1. **Prune rare candidates** — ``m`` uniform samples; hypergeometric
+   under-representation P-values; Holm–Bonferroni rejection removes
+   candidates that are rare (``N_i/N < σ``) with family-wise confidence.
+2. **Identify the top-k** — rounds of fresh samples.  Each round picks the
+   empirical matching set ``M`` and a split point ``s``, budgets fresh
+   samples per candidate (Eq. 1), then runs the union-intersection test of
+   Lemma 4 with P-values from Theorem 1's concentration bound.  ``δ_upper``
+   halves each round so the union over rounds stays below δ/3.
+3. **Reconstruct the top-k** — sample until every matching candidate has
+   ``n_i ≥ (2/ε²)(|V_X| ln 2 + ln(3k/δ))`` cumulative samples.
+
+Finite-data handling (DESIGN.md §5): a candidate whose rows are exhausted has
+an exact histogram; the split-point construction makes its round null
+provably false, so its P-value is 0.  If the sampler exhausts the whole
+dataset the run short-circuits to exact results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .config import HistSimConfig
+from .deviation import (
+    deviation_log_pvalue,
+    stage2_sample_budget,
+    stage3_sample_target,
+)
+from .hypergeometric import underrepresentation_pvalues
+from .multiple_testing import holm_bonferroni, simultaneous_rejection_log
+from .result import MatchResult, RoundTrace, StageStats
+from .sampler import TupleSampler
+from .state import CandidateState
+
+__all__ = ["HistSim", "run_histsim", "select_matching", "split_point"]
+
+#: Optional hook invoked with (stage_name, num_scalar_ops) so the simulated
+#: clock can charge statistics-engine time (Section 4.3).
+StatsCostHook = Callable[[str, int], None]
+
+
+def select_matching(distances: np.ndarray, alive: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest distance estimates among alive candidates.
+
+    Ties break by candidate index (stable), matching Definition 3.  Returns
+    fewer than ``k`` indices when fewer candidates are alive.
+    """
+    alive_idx = np.flatnonzero(alive)
+    if alive_idx.size <= k:
+        order = np.argsort(distances[alive_idx], kind="stable")
+        return alive_idx[order]
+    order = np.argsort(distances[alive_idx], kind="stable")[:k]
+    return alive_idx[order]
+
+
+def split_point(distances: np.ndarray, matching: np.ndarray, others: np.ndarray) -> float:
+    """Algorithm 1 line 18: midpoint between the farthest of ``M`` and nearest of ``A\\M``."""
+    if matching.size == 0 or others.size == 0:
+        raise ValueError("split point requires both M and A\\M to be non-empty")
+    return 0.5 * (float(distances[matching].max()) + float(distances[others].min()))
+
+
+class HistSim:
+    """Run Algorithm 1 against any :class:`~repro.core.sampler.TupleSampler`.
+
+    Parameters
+    ----------
+    sampler:
+        Source of uniform without-replacement tuples.
+    target:
+        The visual target ``q`` (raw counts or a distribution; it is
+        normalized internally).
+    config:
+        ``k``, ``ε``, ``δ``, ``σ`` and system knobs.
+    stats_cost:
+        Optional hook charging statistics-engine work to a simulated clock.
+    """
+
+    def __init__(
+        self,
+        sampler: TupleSampler,
+        target: np.ndarray,
+        config: HistSimConfig,
+        stats_cost: StatsCostHook | None = None,
+    ) -> None:
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim != 1 or target.shape[0] != sampler.num_groups:
+            raise ValueError(
+                f"target must have {sampler.num_groups} entries, got shape {target.shape}"
+            )
+        if target.sum() <= 0 or np.any(target < 0):
+            raise ValueError("target must be non-negative with positive mass")
+        self.sampler = sampler
+        self.target = target
+        self.config = config
+        self._stats_cost = stats_cost or (lambda stage, ops: None)
+        self.state = CandidateState(
+            sampler.num_candidates, sampler.num_groups, sampler.candidate_rows()
+        )
+        self.alive = np.ones(sampler.num_candidates, dtype=bool)
+        self.rounds: list[RoundTrace] = []
+
+    # ------------------------------------------------------------------ stage 1
+
+    def run_stage1(self) -> np.ndarray:
+        """Prune likely-rare candidates; returns the pruned mask."""
+        cfg = self.config
+        n_total = self.sampler.total_rows
+        m = cfg.effective_stage1_samples(n_total)
+        counts = self.sampler.sample_uniform(m)
+        observed = counts.sum(axis=1)
+        self.state.counts += counts
+        self.state.samples += observed
+
+        delivered = int(observed.sum())
+        pvalues = underrepresentation_pvalues(observed, n_total, cfg.sigma, delivered)
+        pruned = holm_bonferroni(pvalues, cfg.stage_delta)
+        self._stats_cost(
+            "stage1", int(observed.max(initial=0)) + self.alive.size
+        )
+        self.alive &= ~pruned
+        return pruned
+
+    # ------------------------------------------------------------------ stage 2
+
+    def _round_budgets(
+        self,
+        tau: np.ndarray,
+        matching: np.ndarray,
+        others: np.ndarray,
+        s: float,
+        delta_upper: float,
+        round_index: int,
+    ) -> np.ndarray:
+        """Eq. 1 fresh-sample budgets ``n'_i`` for one round (heuristic, §4.2).
+
+        Budgets are capped by an iterative-deepening ceiling (a multiple of
+        the stage-3 target, doubling per round) so that margin estimates
+        that are still noisy right after stage 1 cannot demand a full-scan-
+        sized budget in one round; see HistSimConfig.round_budget_cap.
+        """
+        cfg = self.config
+        margins = np.zeros(self.alive.size, dtype=np.float64)
+        margins[matching] = s + cfg.epsilon / 2.0 - tau[matching]
+        margins[others] = tau[others] - (s - cfg.epsilon / 2.0)
+        budgets = np.zeros(self.alive.size, dtype=np.float64)
+        idx = np.concatenate([matching, others])
+        budgets[idx] = cfg.round_budget_factor * stage2_sample_budget(
+            margins[idx], delta_upper, self.sampler.num_groups
+        )
+        if np.isfinite(cfg.round_budget_cap):
+            ceiling = (
+                cfg.round_budget_cap
+                * stage3_sample_target(
+                    cfg.epsilon, cfg.delta, cfg.k, self.sampler.num_groups
+                )
+                * 2.0 ** (round_index - 1)
+            )
+            budgets[idx] = np.minimum(budgets[idx], ceiling)
+        budgets[idx] = np.maximum(budgets[idx], cfg.min_round_samples)
+        # Exhausted candidates cannot yield fresh rows; their test is settled
+        # by exactness instead.
+        budgets[self.state.exhausted()] = 0.0
+        return budgets
+
+    def _round_log_pvalues(
+        self, matching: np.ndarray, others: np.ndarray, s: float
+    ) -> np.ndarray:
+        """P-values (log) of the round's null hypotheses (Lemmas 2–3, Theorem 1)."""
+        cfg = self.config
+        tau_round = self.state.round_distances(self.target)
+        eps_test = np.full(self.alive.size, -np.inf, dtype=np.float64)
+        eps_test[matching] = s + cfg.epsilon / 2.0 - tau_round[matching]
+        if s - cfg.epsilon / 2.0 >= 0.0:
+            eps_test[others] = tau_round[others] - (s - cfg.epsilon / 2.0)
+        else:
+            # Null ``τ* ≤ s − ε/2 < 0`` is vacuously false (Algorithm 1, line 22).
+            eps_test[others] = np.inf
+        log_p = deviation_log_pvalue(
+            eps_test, self.state.round_samples, self.sampler.num_groups
+        )
+        # Exhausted candidates have exact τ; the split-point construction
+        # places their true distance on the correct side of s, so the null is
+        # certainly false (DESIGN.md §5).
+        log_p = np.asarray(log_p, dtype=np.float64)
+        log_p[self.state.exhausted()] = -np.inf
+        return log_p
+
+    def run_stage2(self) -> np.ndarray:
+        """Identify the matching set ``M``; returns matching candidate indices."""
+        cfg = self.config
+        alive_count = int(self.alive.sum())
+        if alive_count <= cfg.k:
+            # A \ M is empty: separation holds vacuously (Lemma 2 degenerate).
+            tau = self.state.distances(self.target)
+            return select_matching(tau, self.alive, alive_count)
+
+        delta_upper = cfg.stage_delta
+        for round_index in range(1, cfg.max_rounds + 1):
+            delta_upper /= 2.0
+            self.state.fold_round_into_cumulative()
+            tau = self.state.distances(self.target)
+            matching = select_matching(tau, self.alive, cfg.k)
+            others = np.setdiff1d(np.flatnonzero(self.alive), matching, assume_unique=True)
+            s = split_point(tau, matching, others)
+
+            budgets = self._round_budgets(
+                tau, matching, others, s, delta_upper, round_index
+            )
+            fresh = self.sampler.sample_until(budgets)
+            self.state.record_round_counts(fresh)
+
+            log_p = self._round_log_pvalues(matching, others, s)
+            alive_idx = np.flatnonzero(self.alive)
+            rejected = simultaneous_rejection_log(log_p[alive_idx], delta_upper)
+            self._stats_cost(
+                "stage2",
+                int(self.alive.sum()) * self.sampler.num_groups
+                + int(self.alive.sum() * np.log2(max(self.alive.sum(), 2))),
+            )
+            self.rounds.append(
+                RoundTrace(
+                    round_index=round_index,
+                    delta_upper=delta_upper,
+                    split_point=s,
+                    matching=tuple(int(i) for i in matching),
+                    budget_total=int(np.where(np.isfinite(budgets), budgets, 0).sum()),
+                    fresh_samples=int(fresh.sum()),
+                    max_log_pvalue=float(np.max(log_p[alive_idx])),
+                    rejected=rejected,
+                )
+            )
+            if rejected:
+                self.state.fold_round_into_cumulative()
+                return matching
+            if self.sampler.fully_scanned:
+                # Exact knowledge: fold and return the exact top-k.
+                self.state.fold_round_into_cumulative()
+                tau = self.state.distances(self.target)
+                return select_matching(tau, self.alive, cfg.k)
+
+        # Safety valve: exhaust the data, which is always correct.
+        self.state.fold_round_into_cumulative()
+        self.sampler.sample_until(np.full(self.alive.size, np.inf))
+        self.state.fold_round_into_cumulative()
+        tau = self.state.distances(self.target)
+        return select_matching(tau, self.alive, cfg.k)
+
+    # ------------------------------------------------------------------ stage 3
+
+    def run_stage3(self, matching: np.ndarray) -> None:
+        """Reconstruct every matching candidate to ε accuracy (line 26)."""
+        cfg = self.config
+        target_n = stage3_sample_target(
+            cfg.epsilon, cfg.delta, cfg.k, self.sampler.num_groups
+        )
+        needed = np.zeros(self.alive.size, dtype=np.float64)
+        needed[matching] = np.maximum(0, target_n - self.state.samples[matching])
+        if np.any(needed > 0):
+            fresh = self.sampler.sample_until(needed)
+            self.state.record_round_counts(fresh)
+            self.state.fold_round_into_cumulative()
+        self._stats_cost("stage3", int(matching.size) * self.sampler.num_groups)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> MatchResult:
+        """Execute all three stages and assemble the result."""
+        before_stage1 = int(self.state.samples.sum())
+        pruned_mask = self.run_stage1()
+        after_stage1 = int(self.state.samples.sum())
+
+        matching = self.run_stage2()
+        after_stage2 = int(self.state.samples.sum()) + int(self.state.round_samples.sum())
+
+        self.run_stage3(matching)
+        after_stage3 = int(self.state.samples.sum())
+
+        tau = self.state.distances(self.target)
+        order = np.argsort(tau[matching], kind="stable")
+        matching = matching[order]
+        stats = StageStats(
+            stage1_samples=after_stage1 - before_stage1,
+            stage2_samples=after_stage2 - after_stage1,
+            stage3_samples=after_stage3 - after_stage2,
+            pruned_candidates=int(pruned_mask.sum()),
+            surviving_candidates=int(self.alive.sum()),
+            rounds=len(self.rounds),
+        )
+        return MatchResult(
+            matching=tuple(int(i) for i in matching),
+            histograms=self.state.counts[matching].copy(),
+            distances=tau[matching].copy(),
+            pruned=tuple(int(i) for i in np.flatnonzero(pruned_mask)),
+            exact=self.sampler.fully_scanned,
+            stats=stats,
+            rounds=tuple(self.rounds),
+        )
+
+
+def run_histsim(
+    sampler: TupleSampler,
+    target: np.ndarray | Sequence[float],
+    config: HistSimConfig | None = None,
+    stats_cost: StatsCostHook | None = None,
+) -> MatchResult:
+    """Convenience wrapper: build and run a :class:`HistSim` instance."""
+    return HistSim(
+        sampler, np.asarray(target, dtype=np.float64), config or HistSimConfig(), stats_cost
+    ).run()

@@ -1,0 +1,85 @@
+"""Stage-1 under-representation test (paper Section 3.3).
+
+After drawing ``m`` tuples uniformly without replacement from a table of
+``N`` tuples, the count ``n_i`` of tuples belonging to candidate ``i`` follows
+``HypGeo(N, N_i, m)``.  The null hypothesis "candidate ``i`` is *not* rare"
+(``N_i ≥ ⌈σN⌉``) is rejected when the left tail
+
+    P( HypGeo(N, ⌈σN⌉, m) ≤ n_i )
+
+is small: observing so few tuples would be surprising if the candidate truly
+had selectivity at least σ.  The tail is stochastically smallest at
+``N_i = ⌈σN⌉`` over the null region, so this P-value is valid for the whole
+composite null.
+
+The paper notes that stage 1 shares computation across candidates by sorting
+them by ``n_i`` and evaluating at most ``max_i n_i`` pdf terms;
+:func:`underrepresentation_pvalues` does exactly that with one vectorized CDF
+evaluation over the distinct observed counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import hypergeom
+
+__all__ = [
+    "rare_threshold",
+    "underrepresentation_pvalue",
+    "underrepresentation_pvalues",
+]
+
+
+def rare_threshold(total_rows: int, sigma: float) -> int:
+    """``⌈σN⌉`` — the smallest candidate size that does *not* count as rare."""
+    if total_rows < 0:
+        raise ValueError(f"total_rows must be non-negative, got {total_rows}")
+    if not 0.0 <= sigma <= 1.0:
+        raise ValueError(f"sigma must be in [0, 1], got {sigma}")
+    return int(np.ceil(sigma * total_rows))
+
+
+def underrepresentation_pvalue(
+    observed: int, total_rows: int, sigma: float, sample_size: int
+) -> float:
+    """P-value of the under-representation test for a single candidate."""
+    return float(
+        underrepresentation_pvalues(
+            np.asarray([observed]), total_rows, sigma, sample_size
+        )[0]
+    )
+
+
+def underrepresentation_pvalues(
+    observed: np.ndarray, total_rows: int, sigma: float, sample_size: int
+) -> np.ndarray:
+    """Vectorized stage-1 P-values ``Σ_{j≤n_i} f(j; N, ⌈σN⌉, m)`` for all candidates.
+
+    Shares computation across candidates: the hypergeometric CDF is evaluated
+    once per *distinct* observed count, then broadcast back, mirroring the
+    paper's shared-computation optimization (Section 3.5, "Computational
+    Complexity").
+    """
+    counts = np.asarray(observed)
+    if counts.ndim != 1:
+        raise ValueError("observed must be a 1-D array of per-candidate counts")
+    if np.any(counts < 0):
+        raise ValueError("observed counts must be non-negative")
+    if sample_size < 0:
+        raise ValueError(f"sample_size must be non-negative, got {sample_size}")
+    if sample_size > total_rows:
+        raise ValueError(
+            f"cannot draw {sample_size} samples without replacement from {total_rows} rows"
+        )
+
+    threshold = rare_threshold(total_rows, sigma)
+    if threshold == 0:
+        # sigma == 0: nothing is rare; the null (N_i >= 0) always holds and
+        # the left tail at any count is 1.
+        return np.ones_like(counts, dtype=np.float64)
+
+    unique_counts, inverse = np.unique(counts, return_inverse=True)
+    tail = hypergeom.cdf(unique_counts, total_rows, threshold, sample_size)
+    # Numerical guard: scipy can return tiny negatives near zero.
+    tail = np.clip(tail, 0.0, 1.0)
+    return tail[inverse]

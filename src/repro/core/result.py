@@ -1,0 +1,86 @@
+"""Result containers for HistSim runs: outputs plus per-stage diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundTrace", "StageStats", "MatchResult"]
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Diagnostics for one stage-2 round (Algorithm 1 lines 13–24)."""
+
+    round_index: int
+    delta_upper: float
+    split_point: float
+    matching: tuple[int, ...]
+    budget_total: int
+    fresh_samples: int
+    max_log_pvalue: float
+    rejected: bool
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Sampling effort per stage, for the cost model and the benchmarks."""
+
+    stage1_samples: int = 0
+    stage2_samples: int = 0
+    stage3_samples: int = 0
+    pruned_candidates: int = 0
+    surviving_candidates: int = 0
+    rounds: int = 0
+
+    @property
+    def total_samples(self) -> int:
+        return self.stage1_samples + self.stage2_samples + self.stage3_samples
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Output of a HistSim / FastMatch run.
+
+    Attributes
+    ----------
+    matching:
+        Candidate indices of the estimated top-k, ordered by estimated
+        distance (closest first).
+    histograms:
+        Estimated count vectors ``r_i`` for each matching candidate, aligned
+        with ``matching`` (these are the approximate visualizations shown to
+        the analyst).
+    distances:
+        Estimated distances ``τ_i = d(r_i, q)`` aligned with ``matching``.
+    pruned:
+        Candidate indices removed by stage 1 as likely rare.
+    exact:
+        True when the run degenerated into a full scan (finite data
+        exhausted), in which case the output is exactly correct.
+    stats:
+        Per-stage sampling effort.
+    rounds:
+        Stage-2 round traces.
+    """
+
+    matching: tuple[int, ...]
+    histograms: np.ndarray
+    distances: np.ndarray
+    pruned: tuple[int, ...]
+    exact: bool
+    stats: StageStats
+    rounds: tuple[RoundTrace, ...] = field(default_factory=tuple)
+
+    @property
+    def k(self) -> int:
+        return len(self.matching)
+
+    def histogram_for(self, candidate: int) -> np.ndarray:
+        """The estimated histogram of a matching candidate, by candidate index."""
+        try:
+            position = self.matching.index(candidate)
+        except ValueError:
+            raise KeyError(f"candidate {candidate} is not in the matching set") from None
+        return self.histograms[position]

@@ -1,0 +1,46 @@
+"""Synthetic evaluation datasets (Table 2) and the nine Table 3 queries."""
+
+from .flights import ATW, ORD, build_flights
+from .generator import (
+    assemble,
+    at_distance,
+    conditional_column,
+    independent_column,
+    jittered,
+    mixture,
+    peaked,
+    sizes_from_weights,
+    zipf_weights,
+)
+from .police import build_police
+from .registry import Dataset, load_dataset
+from .taxi import build_taxi
+from .workloads import (
+    QUERY_NAMES,
+    WORKLOAD_QUERIES,
+    prepare_workload,
+    workload_query,
+)
+
+__all__ = [
+    "ATW",
+    "ORD",
+    "build_flights",
+    "build_police",
+    "build_taxi",
+    "Dataset",
+    "load_dataset",
+    "QUERY_NAMES",
+    "WORKLOAD_QUERIES",
+    "prepare_workload",
+    "workload_query",
+    "assemble",
+    "at_distance",
+    "conditional_column",
+    "independent_column",
+    "jittered",
+    "mixture",
+    "peaked",
+    "sizes_from_weights",
+    "zipf_weights",
+]

@@ -1,0 +1,247 @@
+"""Synthetic-population machinery shared by the three evaluation datasets.
+
+The paper's datasets cannot be shipped (tens of GiB of raw CSV); DESIGN.md
+records the substitution.  HistSim's behaviour depends on exactly two things
+per query: (a) the candidate selectivity profile (how many rows each ``Z``
+value has — drives stage-1 pruning and block presence) and (b) the geometry
+of candidate distributions around the target (drives stage-2 separation).
+The helpers here control both directly:
+
+- :func:`zipf_weights` / :func:`sizes_from_weights` — skewed selectivities;
+- :func:`jittered` — Dirichlet perturbations of a base shape, with
+  ``concentration`` controlling expected distance from the base;
+- :func:`conditional_column` — a grouping column whose distribution depends
+  on the candidate column;
+- :func:`assemble` — final single shared permutation, so generated tables
+  are "shuffled by construction" (Challenge 1's preprocessing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zipf_weights",
+    "sizes_from_weights",
+    "jittered",
+    "peaked",
+    "mixture",
+    "at_distance",
+    "conditional_column",
+    "independent_column",
+    "assemble",
+]
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf weights ``k^-alpha``, descending."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    raw = np.arange(1, n + 1, dtype=np.float64) ** (-alpha)
+    return raw / raw.sum()
+
+
+def sizes_from_weights(
+    weights: np.ndarray, total_rows: int, rng: np.random.Generator, min_rows: int = 0
+) -> np.ndarray:
+    """Integer candidate sizes ~ Multinomial(total, weights), floored at min_rows.
+
+    Flooring keeps engineered candidates above a selectivity threshold; the
+    excess is taken from the largest candidate so the total is exact.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if total_rows < 0:
+        raise ValueError(f"total_rows must be non-negative, got {total_rows}")
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty vector")
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    if min_rows * weights.size > total_rows:
+        raise ValueError(
+            f"cannot give {weights.size} candidates {min_rows} rows each "
+            f"out of {total_rows}"
+        )
+    sizes = rng.multinomial(total_rows, weights / weights.sum()).astype(np.int64)
+    if min_rows > 0:
+        deficit = np.maximum(min_rows - sizes, 0)
+        sizes += deficit
+        overshoot = int(deficit.sum())
+        if overshoot > 0:
+            # Reclaim proportionally from everyone's excess above the floor,
+            # preserving the shape of the size distribution.
+            excess = np.maximum(sizes - min_rows, 0)
+            total_excess = int(excess.sum())
+            if total_excess < overshoot:
+                raise RuntimeError("could not satisfy min_rows flooring")
+            quota = np.minimum(
+                np.floor(overshoot * excess / total_excess).astype(np.int64), excess
+            )
+            sizes -= quota
+            overshoot -= int(quota.sum())
+            while overshoot > 0:
+                largest = int(np.argmax(sizes - min_rows))
+                if sizes[largest] <= min_rows:
+                    raise RuntimeError("could not satisfy min_rows flooring")
+                sizes[largest] -= 1
+                overshoot -= 1
+    return sizes.astype(np.int64)
+
+
+def jittered(
+    base: np.ndarray, concentration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A random distribution near ``base``: Dirichlet(base · concentration).
+
+    Larger ``concentration`` → closer to the base shape (expected L1
+    distance shrinks roughly as ``1/sqrt(concentration)``).
+    """
+    base = np.asarray(base, dtype=np.float64)
+    if concentration <= 0:
+        raise ValueError(f"concentration must be positive, got {concentration}")
+    if np.any(base < 0) or base.sum() <= 0:
+        raise ValueError("base must be non-negative with positive mass")
+    alpha = base / base.sum() * concentration
+    # Dirichlet parameters must be positive; give empty cells a whisper.
+    alpha = np.maximum(alpha, 1e-3)
+    return rng.dirichlet(alpha)
+
+
+def peaked(num_groups: int, peak: int, mass: float) -> np.ndarray:
+    """A distribution with ``mass`` on one group and the rest uniform."""
+    if not 0 <= peak < num_groups:
+        raise ValueError(f"peak {peak} out of range [0, {num_groups})")
+    if not 0.0 <= mass <= 1.0:
+        raise ValueError(f"mass must be in [0, 1], got {mass}")
+    out = np.full(num_groups, (1.0 - mass) / num_groups)
+    out[peak] += mass
+    return out / out.sum()
+
+
+def mixture(components: list[np.ndarray], weights: list[float]) -> np.ndarray:
+    """Convex combination of distributions."""
+    if len(components) != len(weights) or not components:
+        raise ValueError("components and weights must align and be non-empty")
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    weights_arr = weights_arr / weights_arr.sum()
+    out = np.zeros_like(np.asarray(components[0], dtype=np.float64))
+    for component, w in zip(components, weights_arr):
+        out += w * np.asarray(component, dtype=np.float64)
+    return out / out.sum()
+
+
+def at_distance(
+    base: np.ndarray,
+    distance: float,
+    rng: np.random.Generator,
+    peak: int | np.ndarray | None = None,
+    jitter: float = 0.0,
+    peaks: int = 1,
+) -> np.ndarray:
+    """A distribution at (almost) exactly L1 ``distance`` from ``base``.
+
+    Mass is removed proportionally from all groups and piled evenly onto
+    ``peaks`` peak groups (random by default), yielding an exact L1
+    displacement of ``distance``.  Optional Dirichlet ``jitter`` (a
+    concentration; 0 disables) roughens the result for realism, moving the
+    realized distance slightly.
+
+    The number of peaks controls the L2-per-L1 ratio: one peak concentrates
+    the deviation (large L2 for the same L1 — the Figure 2 regime), many
+    peaks spread it (small L2).  Mixing both styles is what makes L1 and L2
+    rankings genuinely disagree, as on the paper's real data (Table 5).
+
+    This is how the datasets plant candidates at controlled distances from a
+    query's target — the quantity HistSim's stage-2 budgets actually react
+    to (margins to the split point).
+    """
+    base = np.asarray(base, dtype=np.float64)
+    if np.any(base < 0) or base.sum() <= 0:
+        raise ValueError("base must be non-negative with positive mass")
+    base = base / base.sum()
+    if not 0.0 <= distance < 2.0:
+        raise ValueError(f"L1 distance must be in [0, 2), got {distance}")
+    if peak is None:
+        if not 1 <= peaks <= base.size:
+            raise ValueError(f"peaks must be in [1, {base.size}], got {peaks}")
+        peak_idx = rng.choice(base.size, size=peaks, replace=False)
+    else:
+        peak_idx = np.atleast_1d(np.asarray(peak, dtype=np.int64))
+    if peak_idx.size == 0 or np.any(peak_idx < 0) or np.any(peak_idx >= base.size):
+        raise ValueError(f"peak indices out of range: {peak_idx}")
+    k = peak_idx.size
+    if np.any(base[peak_idx] > 1.0 / k):
+        # The even-split formula needs every peak to gain mass; fall back to
+        # the least-loaded groups if the random choice was unlucky.
+        peak_idx = np.argsort(base, kind="stable")[:k]
+    headroom = 1.0 - float(base[peak_idx].sum())
+    if headroom <= 0:
+        raise ValueError("base already concentrates all mass on the peaks")
+    take = distance / (2.0 * headroom)
+    if take > 1.0:
+        raise ValueError(
+            f"distance {distance} unreachable via {k} peak(s) "
+            f"(headroom {headroom:.3f})"
+        )
+    out = base * (1.0 - take)
+    out[peak_idx] += take / k
+    if jitter > 0:
+        out = jittered(out, jitter, rng)
+    return out
+
+
+def conditional_column(
+    sizes: np.ndarray, distributions: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Grouping column drawn per candidate: candidate ``i`` contributes
+    ``sizes[i]`` values from ``distributions[i]``.
+
+    Returned in candidate-major order — :func:`assemble` applies the final
+    shared permutation.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    distributions = np.asarray(distributions, dtype=np.float64)
+    if distributions.ndim != 2 or distributions.shape[0] != sizes.size:
+        raise ValueError("distributions must have one row per candidate")
+    num_groups = distributions.shape[1]
+    parts = []
+    for size, dist in zip(sizes, distributions):
+        if size == 0:
+            continue
+        total = dist.sum()
+        if total <= 0:
+            raise ValueError("each candidate needs a positive-mass distribution")
+        parts.append(rng.choice(num_groups, size=int(size), p=dist / total))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def independent_column(
+    total_rows: int, distribution: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """A column independent of the candidate attribute."""
+    distribution = np.asarray(distribution, dtype=np.float64)
+    total = distribution.sum()
+    if total <= 0:
+        raise ValueError("distribution must have positive mass")
+    return rng.choice(distribution.size, size=total_rows, p=distribution / total)
+
+
+def assemble(
+    columns: dict[str, np.ndarray], rng: np.random.Generator
+) -> dict[str, np.ndarray]:
+    """Apply one shared random permutation to all columns.
+
+    Rows generated candidate-major become exchangeable — the table is
+    pre-shuffled exactly as FastMatch's preprocessing requires.
+    """
+    lengths = {name: col.size for name, col in columns.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"ragged columns: {lengths}")
+    n = next(iter(lengths.values())) if lengths else 0
+    order = rng.permutation(n)
+    return {name: col[order] for name, col in columns.items()}

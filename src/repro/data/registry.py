@@ -1,0 +1,55 @@
+"""Dataset container and cached construction.
+
+Datasets are seeded and deterministic; the registry memoizes them so tests,
+examples, and every benchmark in a session share one build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..storage.table import ColumnTable
+
+__all__ = ["Dataset", "load_dataset", "dataset_builders"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named synthetic dataset plus regime metadata.
+
+    ``metadata`` records engineered facts the workloads rely on (e.g. which
+    origin index plays the role of Chicago ORD, which candidates form the
+    planted near-target cluster for each query).
+    """
+
+    name: str
+    table: ColumnTable
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+
+def dataset_builders():
+    """name -> builder(rows, seed) -> Dataset (imported lazily to avoid cycles)."""
+    from .flights import build_flights
+    from .police import build_police
+    from .taxi import build_taxi
+
+    return {"flights": build_flights, "taxi": build_taxi, "police": build_police}
+
+
+@lru_cache(maxsize=8)
+def load_dataset(name: str, rows: int | None = None, seed: int = 7) -> Dataset:
+    """Build (or fetch the cached) dataset by name.
+
+    ``rows=None`` uses each dataset's default scale.
+    """
+    builders = dataset_builders()
+    if name not in builders:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(builders)}")
+    if rows is None:
+        return builders[name](seed=seed)
+    return builders[name](rows=rows, seed=seed)

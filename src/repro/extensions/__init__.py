@@ -1,0 +1,38 @@
+"""Appendix A generalizations: SUM aggregation, predicate candidates,
+multiple GROUP BY attributes, unknown domains, range-k, dual ε, L2 metric."""
+
+from .dual_epsilon import DualEpsilonHistSim, run_histsim_dual_epsilon
+from .metrics import l2_epsilon_given_samples, l2_samples_for_deviation, l2_top_k
+from .multi_groupby import composite_grouping, composite_support_size
+from .predicates import (
+    PredicateCandidateSampler,
+    exact_predicate_counts,
+    predicate_block_counts,
+)
+from .range_k import choose_k, run_histsim_range_k
+from .sum_aggregation import (
+    MeasureBiasedSampler,
+    exact_sum_histograms,
+    measure_biased_order,
+)
+from .unknown_domain import UnknownDomainPruneResult, prune_unknown_domain
+
+__all__ = [
+    "DualEpsilonHistSim",
+    "run_histsim_dual_epsilon",
+    "l2_epsilon_given_samples",
+    "l2_samples_for_deviation",
+    "l2_top_k",
+    "composite_grouping",
+    "composite_support_size",
+    "PredicateCandidateSampler",
+    "exact_predicate_counts",
+    "predicate_block_counts",
+    "choose_k",
+    "run_histsim_range_k",
+    "MeasureBiasedSampler",
+    "exact_sum_histograms",
+    "measure_biased_order",
+    "UnknownDomainPruneResult",
+    "prune_unknown_domain",
+]

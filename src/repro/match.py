@@ -1,0 +1,91 @@
+"""One-call library front door: ``match_histograms``.
+
+Wraps the full pipeline — preparation (shuffle, index, ground truth, target
+resolution), execution, and audit — for users who have a
+:class:`~repro.storage.ColumnTable` and a question, without needing to
+touch the system internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.config import HistSimConfig
+from .core.target import TargetSpec
+from .query.predicate import Predicate, TruePredicate
+from .query.spec import HistogramQuery
+from .storage.table import ColumnTable
+from .system.fastmatch import DEFAULT_BLOCK_SIZE, PreparedQuery, run_approach
+from .system.report import RunReport
+
+__all__ = ["match_histograms"]
+
+
+def match_histograms(
+    table: ColumnTable,
+    candidate_attribute: str,
+    grouping_attribute: str,
+    target: TargetSpec | np.ndarray | int | None = None,
+    k: int = 10,
+    epsilon: float = 0.1,
+    delta: float = 0.01,
+    sigma: float = 0.0,
+    predicate: Predicate | None = None,
+    approach: str = "fastmatch",
+    seed: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    audit: bool = True,
+) -> RunReport:
+    """Find the top-k candidates whose histograms best match a target.
+
+    Parameters
+    ----------
+    table:
+        The encoded relation ``T`` of Definition 1.
+    candidate_attribute, grouping_attribute:
+        ``Z`` (one candidate per value) and ``X`` (the histogram support).
+    target:
+        What to match: a :class:`TargetSpec`, an explicit vector over the
+        grouping attribute's values, a candidate index (``int``, meaning
+        "most similar to that candidate"), or ``None`` for the candidate
+        closest to uniform.
+    k, epsilon, delta, sigma:
+        Problem 1's parameters (defaults: moderate tolerance, no
+        selectivity pruning).
+    predicate:
+        Optional extra WHERE condition applied to every candidate.
+    approach:
+        ``"fastmatch"`` (default), ``"scanmatch"``, ``"syncmatch"``, or the
+        exact ``"scan"``.
+    audit:
+        Verify the guarantees against exact ground truth (cheap here, since
+        preparation computes it anyway).
+
+    Returns
+    -------
+    RunReport — ``.result.matching`` holds the candidate indices,
+    ``.result.histograms`` the estimated visualizations, ``.audit`` the
+    guarantee check, ``.elapsed_seconds`` the simulated latency.
+    """
+    if isinstance(target, TargetSpec):
+        spec = target
+    elif target is None:
+        spec = TargetSpec(kind="closest_to_uniform")
+    elif isinstance(target, (int, np.integer)):
+        spec = TargetSpec(kind="candidate", candidate=int(target))
+    else:
+        vector = tuple(float(v) for v in np.asarray(target, dtype=np.float64))
+        spec = TargetSpec(kind="explicit", vector=vector)
+
+    query = HistogramQuery(
+        candidate_attribute=candidate_attribute,
+        grouping_attribute=grouping_attribute,
+        target=spec,
+        k=k,
+        predicate=predicate or TruePredicate(),
+        name=f"match:{candidate_attribute}/{grouping_attribute}",
+    )
+    config = HistSimConfig(k=k, epsilon=epsilon, delta=delta, sigma=sigma)
+    rng = np.random.default_rng(seed)
+    prepared = PreparedQuery.prepare(table, query, rng, block_size=block_size)
+    return run_approach(prepared, approach, config, seed=seed, audit=audit)

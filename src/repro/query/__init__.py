@@ -1,0 +1,24 @@
+"""Histogram-generating queries (Definition 1): templates, predicates,
+binning, and the exact executor used for ground truth."""
+
+from .binning import coarsen, equal_width_bins, quantile_bins
+from .executor import exact_candidate_counts, exact_histogram
+from .predicate import And, Equals, InRange, IsIn, Not, Or, Predicate, TruePredicate
+from .spec import HistogramQuery
+
+__all__ = [
+    "HistogramQuery",
+    "exact_candidate_counts",
+    "exact_histogram",
+    "And",
+    "Equals",
+    "InRange",
+    "IsIn",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "coarsen",
+    "equal_width_bins",
+    "quantile_bins",
+]

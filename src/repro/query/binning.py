@@ -1,0 +1,52 @@
+"""Binning helpers for continuous attributes (paper Appendix A.1.4 / A.1.6).
+
+Continuous grouping or candidate attributes are handled by binning values
+into buckets before encoding — FLIGHTS' DepartureHour is exactly this (a
+continuous attribute placed into 24 bins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.schema import BinnedAttribute
+
+__all__ = ["equal_width_bins", "quantile_bins", "coarsen"]
+
+
+def equal_width_bins(name: str, low: float, high: float, bins: int) -> BinnedAttribute:
+    """A binned attribute with ``bins`` equal-width buckets over [low, high]."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if not low < high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    edges = tuple(np.linspace(low, high, bins + 1))
+    return BinnedAttribute(name, edges)
+
+
+def quantile_bins(name: str, values: np.ndarray, bins: int) -> BinnedAttribute:
+    """Buckets with (approximately) equal row counts, from observed values."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot derive quantile bins from no data")
+    edges = np.quantile(values, np.linspace(0.0, 1.0, bins + 1))
+    edges = np.unique(edges)
+    if edges.size < 2:
+        raise ValueError("data too degenerate for quantile binning")
+    return BinnedAttribute(name, tuple(edges))
+
+
+def coarsen(attribute: BinnedAttribute, factor: int) -> BinnedAttribute:
+    """Merge every ``factor`` adjacent bins into one (Appendix A.1.6: bitmaps
+    at the finest granularity induce any coarser granularity)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    edges = attribute.edges
+    kept = list(edges[::factor])
+    if kept[-1] != edges[-1]:
+        kept.append(edges[-1])
+    if len(kept) < 2:
+        raise ValueError("coarsening factor leaves no bins")
+    return BinnedAttribute(attribute.name, tuple(kept))

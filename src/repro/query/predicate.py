@@ -1,0 +1,121 @@
+"""Boolean predicate trees over encoded attributes (paper Appendix A.1.2).
+
+Histogram-generating queries may carry additional WHERE predicates beyond
+``Z = z_i``.  Predicates here are composable trees of equality, membership
+and range tests joined by AND/OR/NOT, evaluated vectorized against a
+:class:`~repro.storage.table.ColumnTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.table import ColumnTable
+
+__all__ = ["Predicate", "Equals", "IsIn", "InRange", "And", "Or", "Not", "TruePredicate"]
+
+
+class Predicate:
+    """Base class: a boolean row filter."""
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (the default WHERE clause)."""
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        return np.ones(table.num_rows, dtype=bool)
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """``attribute = code``."""
+
+    attribute: str
+    code: int
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        if not 0 <= self.code < table.cardinality(self.attribute):
+            raise ValueError(
+                f"code {self.code} out of range for attribute {self.attribute!r}"
+            )
+        return table.column(self.attribute) == self.code
+
+
+@dataclass(frozen=True)
+class IsIn(Predicate):
+    """``attribute IN (codes…)``."""
+
+    attribute: str
+    codes: tuple[int, ...]
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        cardinality = table.cardinality(self.attribute)
+        if any(not 0 <= c < cardinality for c in self.codes):
+            raise ValueError(f"codes out of range for attribute {self.attribute!r}")
+        lookup = np.zeros(cardinality, dtype=bool)
+        lookup[list(self.codes)] = True
+        return lookup[table.column(self.attribute)]
+
+
+@dataclass(frozen=True)
+class InRange(Predicate):
+    """``low <= attribute_code <= high`` (over encoded/binned codes)."""
+
+    attribute: str
+    low: int
+    high: int
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        if self.low > self.high:
+            raise ValueError(f"empty range [{self.low}, {self.high}]")
+        col = table.column(self.attribute)
+        return (col >= self.low) & (col <= self.high)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    children: tuple[Predicate, ...]
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        if not self.children:
+            raise ValueError("And requires at least one child")
+        out = self.children[0].mask(table)
+        for child in self.children[1:]:
+            out = out & child.mask(table)
+        return out
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    children: tuple[Predicate, ...]
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        if not self.children:
+            raise ValueError("Or requires at least one child")
+        out = self.children[0].mask(table)
+        for child in self.children[1:]:
+            out = out | child.mask(table)
+        return out
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    child: Predicate
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        return ~self.child.mask(table)

@@ -1,0 +1,66 @@
+"""Histogram-generating query templates (paper Definition 1).
+
+    SELECT X, COUNT(*) FROM T WHERE Z = z_i [AND predicate] GROUP BY X
+
+``(T, X, Z)`` is the template; letting ``z_i`` range over ``V_Z`` yields the
+candidate visualizations.  ``HistogramQuery`` captures the template plus the
+optional extra predicate; the executor and the FastMatch runner both consume
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.target import TargetSpec
+from ..storage.table import ColumnTable
+from .predicate import Predicate, TruePredicate
+
+__all__ = ["HistogramQuery"]
+
+
+@dataclass(frozen=True)
+class HistogramQuery:
+    """A histogram-matching query: template + target + retrieval size.
+
+    Attributes
+    ----------
+    candidate_attribute:
+        ``Z`` — each of its values defines one candidate visualization.
+    grouping_attribute:
+        ``X`` — the histogram's x-axis.
+    target:
+        How to resolve the visual target ``q``.
+    k:
+        Number of matches to retrieve.
+    predicate:
+        Optional extra WHERE condition applied to all candidates.
+    name:
+        Identifier used by workloads and benchmarks (e.g. ``"flights-q1"``).
+    """
+
+    candidate_attribute: str
+    grouping_attribute: str
+    target: TargetSpec = field(default_factory=TargetSpec)
+    k: int = 10
+    predicate: Predicate = field(default_factory=TruePredicate)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.candidate_attribute == self.grouping_attribute:
+            raise ValueError("candidate and grouping attributes must differ")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    def validate_against(self, table: ColumnTable) -> None:
+        """Check the template's attributes exist in a table's schema."""
+        for attr in (self.candidate_attribute, self.grouping_attribute):
+            if attr not in table.schema:
+                raise ValueError(f"attribute {attr!r} not in table schema")
+
+    def cardinalities(self, table: ColumnTable) -> tuple[int, int]:
+        """``(|V_Z|, |V_X|)`` for this template on a table."""
+        return (
+            table.cardinality(self.candidate_attribute),
+            table.cardinality(self.grouping_attribute),
+        )

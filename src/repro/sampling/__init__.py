@@ -1,0 +1,23 @@
+"""Sampling engine substrate: block-selection policies (AnyActive, lookahead)
+and the block-based TupleSampler implementation."""
+
+from .engine import BlockSamplingEngine, EngineCounters
+from .policies import (
+    POLICIES,
+    AnyActiveLookaheadPolicy,
+    AnyActiveSyncPolicy,
+    DensityAnyActivePolicy,
+    PolicyDecision,
+    ScanAllPolicy,
+)
+
+__all__ = [
+    "BlockSamplingEngine",
+    "EngineCounters",
+    "POLICIES",
+    "AnyActiveLookaheadPolicy",
+    "AnyActiveSyncPolicy",
+    "DensityAnyActivePolicy",
+    "PolicyDecision",
+    "ScanAllPolicy",
+]

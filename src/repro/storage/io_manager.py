@@ -1,0 +1,70 @@
+"""Simulated I/O manager (paper Section 4.1).
+
+"The I/O manager simply services requests for blocks in a synchronous
+fashion."  Here it gathers the requested blocks' column values from the
+shuffled table and reports the simulated cost of doing so; the caller (the
+sampling engine) decides how that cost composes with block-selection cost
+(serial for SyncMatch, overlapped for FastMatch's lookahead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost_model import CostModel
+from .shuffle import ShuffledTable
+
+__all__ = ["IOManager", "BlockRead"]
+
+
+class BlockRead:
+    """The outcome of one batch of block reads."""
+
+    __slots__ = ("columns", "rows_read", "blocks_read", "cost_ns")
+
+    def __init__(
+        self,
+        columns: dict[str, np.ndarray],
+        rows_read: int,
+        blocks_read: int,
+        cost_ns: float,
+    ) -> None:
+        self.columns = columns
+        self.rows_read = rows_read
+        self.blocks_read = blocks_read
+        self.cost_ns = cost_ns
+
+
+class IOManager:
+    """Services block-read requests against a shuffled table."""
+
+    def __init__(self, shuffled: ShuffledTable, cost_model: CostModel) -> None:
+        self.shuffled = shuffled
+        self.cost_model = cost_model
+        self.total_blocks_read = 0
+        self.total_rows_read = 0
+        self.total_cost_ns = 0.0
+
+    def read_blocks(self, blocks: np.ndarray, columns: tuple[str, ...]) -> BlockRead:
+        """Read the given blocks and return the requested columns' values.
+
+        ``blocks`` must be sorted and unique (the engine reads in storage
+        order — Section 4.2's locality discussion).
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
+            return BlockRead({name: np.empty(0, dtype=np.int64) for name in columns}, 0, 0, 0.0)
+        if np.any(np.diff(blocks) <= 0):
+            raise ValueError("blocks must be sorted and unique")
+        layout = self.shuffled.layout
+        rows = layout.rows_of_blocks(blocks)
+        tuples_per_block = np.minimum(
+            layout.block_size,
+            layout.num_rows - blocks * layout.block_size,
+        )
+        cost = self.cost_model.block_read_cost(tuples_per_block)
+        gathered = {name: self.shuffled.table.column(name)[rows] for name in columns}
+        self.total_blocks_read += int(blocks.size)
+        self.total_rows_read += int(rows.size)
+        self.total_cost_ns += cost
+        return BlockRead(gathered, int(rows.size), int(blocks.size), cost)

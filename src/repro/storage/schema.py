@@ -1,0 +1,129 @@
+"""Attribute schemas for the column store.
+
+The paper's queries group and filter over categorical attributes (airport,
+county, …) and binned continuous attributes (departure hour, pickup
+location).  A :class:`CategoricalAttribute` stores a dictionary-encoded
+column; a :class:`BinnedAttribute` remembers its bin edges so continuous
+values can be encoded consistently (Appendix A.1.4 / A.1.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CategoricalAttribute", "BinnedAttribute", "Schema"]
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A dictionary-encoded categorical attribute.
+
+    ``values`` lists the decoded labels; stored codes index into it.
+    """
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if len(self.values) == 0:
+            raise ValueError(f"attribute {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"attribute {self.name!r} has duplicate values")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def encode(self, labels) -> np.ndarray:
+        """Map labels to integer codes; unknown labels raise."""
+        lookup = {v: i for i, v in enumerate(self.values)}
+        try:
+            return np.asarray([lookup[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unknown value {exc.args[0]!r} for attribute {self.name!r}")
+
+    def decode(self, codes: np.ndarray) -> list[str]:
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.cardinality):
+            raise ValueError(f"codes out of range for attribute {self.name!r}")
+        return [self.values[int(c)] for c in codes]
+
+
+@dataclass(frozen=True)
+class BinnedAttribute:
+    """A continuous attribute discretized by explicit bin edges.
+
+    ``edges`` has ``cardinality + 1`` entries; bin ``i`` covers
+    ``[edges[i], edges[i+1])`` with the final bin closed on the right.
+    """
+
+    name: str
+    edges: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if len(self.edges) < 2:
+            raise ValueError(f"attribute {self.name!r} needs at least two bin edges")
+        diffs = np.diff(np.asarray(self.edges, dtype=float))
+        if np.any(diffs <= 0):
+            raise ValueError(f"bin edges for {self.name!r} must be strictly increasing")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.edges) - 1
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        """Human-readable bin labels (for display parity with categoricals)."""
+        return tuple(
+            f"[{self.edges[i]:g}, {self.edges[i + 1]:g})" for i in range(self.cardinality)
+        )
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        """Bin raw continuous values; out-of-range values raise."""
+        raw = np.asarray(raw, dtype=np.float64)
+        edges = np.asarray(self.edges, dtype=np.float64)
+        if raw.size and (raw.min() < edges[0] or raw.max() > edges[-1]):
+            raise ValueError(
+                f"values outside [{edges[0]}, {edges[-1]}] for attribute {self.name!r}"
+            )
+        codes = np.searchsorted(edges, raw, side="right") - 1
+        # The right endpoint of the final bin is inclusive.
+        codes = np.minimum(codes, self.cardinality - 1)
+        return codes.astype(np.int64)
+
+
+Attribute = CategoricalAttribute | BinnedAttribute
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attributes forming a table's schema."""
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"no attribute named {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def cardinality(self, name: str) -> int:
+        return self[name].cardinality

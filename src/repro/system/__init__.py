@@ -1,0 +1,28 @@
+"""The FastMatch system architecture (Section 4): simulated clock, statistics
+engine, Scan baseline, and the four-approach runner."""
+
+from .clock import SimulatedClock
+from .fastmatch import (
+    APPROACHES,
+    DEFAULT_BLOCK_SIZE,
+    PreparedQuery,
+    run_approach,
+)
+from .report import RunReport
+from .scan import run_scan
+from .stats_engine import StatsEngine
+from .visualize import render_comparison, render_histogram, render_result
+
+__all__ = [
+    "render_comparison",
+    "render_histogram",
+    "render_result",
+    "APPROACHES",
+    "DEFAULT_BLOCK_SIZE",
+    "PreparedQuery",
+    "run_approach",
+    "RunReport",
+    "run_scan",
+    "SimulatedClock",
+    "StatsEngine",
+]

@@ -1,0 +1,39 @@
+"""Run reports: what one execution of an approach produced and what it cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.guarantees import GuaranteeAudit
+from ..core.result import MatchResult
+
+__all__ = ["RunReport"]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of running one approach on one prepared query.
+
+    ``elapsed_ns`` is simulated time from the cost model (the paper's
+    wall-clock analogue); ``breakdown`` splits it by component;
+    ``counters`` records I/O effort (blocks read/skipped, bitmap probes,
+    rows delivered).
+    """
+
+    approach: str
+    query_name: str
+    result: MatchResult
+    elapsed_ns: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    audit: GuaranteeAudit | None = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ns * 1e-9
+
+    def speedup_over(self, baseline: "RunReport") -> float:
+        """Baseline time divided by this run's time (Table 4's headline)."""
+        if self.elapsed_ns <= 0:
+            return float("inf")
+        return baseline.elapsed_ns / self.elapsed_ns

@@ -1,0 +1,113 @@
+"""Terminal rendering of histogram visualizations.
+
+FastMatch's output *is* a set of visualizations (Section 2.1); this module
+renders them as aligned ASCII bar charts so examples and the CLI can show
+the analyst what was matched — including the side-by-side
+target-vs-candidate view of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distance import l1_distance, normalize
+from ..core.result import MatchResult
+
+__all__ = ["render_histogram", "render_comparison", "render_result"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_histogram(
+    counts: np.ndarray,
+    labels: list[str] | None = None,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """One histogram as horizontal ASCII bars (normalized shares shown)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError("counts must be a vector")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    shares = normalize(counts)
+    peak = shares.max() if shares.size and shares.max() > 0 else 1.0
+    if labels is None:
+        labels = [str(i) for i in range(counts.size)]
+    if len(labels) != counts.size:
+        raise ValueError(f"need {counts.size} labels, got {len(labels)}")
+    label_width = max((len(str(l)) for l in labels), default=1)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, share in zip(labels, shares):
+        cells = share / peak * width
+        bar = _BAR * int(cells) + (_HALF if cells - int(cells) >= 0.5 else "")
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}}| {share:6.1%}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    target: np.ndarray,
+    candidate: np.ndarray,
+    labels: list[str] | None = None,
+    width: int = 24,
+    target_name: str = "target",
+    candidate_name: str = "candidate",
+) -> str:
+    """Side-by-side target-vs-candidate view (the paper's Figure 1)."""
+    target = np.asarray(target, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if target.shape != candidate.shape or target.ndim != 1:
+        raise ValueError("target and candidate must be vectors of equal length")
+    t_bar = normalize(target)
+    c_bar = normalize(candidate)
+    peak = max(t_bar.max(), c_bar.max()) or 1.0
+    if labels is None:
+        labels = [str(i) for i in range(target.size)]
+    label_width = max((len(str(l)) for l in labels), default=1)
+
+    header = (
+        f"{'':>{label_width}}  {target_name:<{width}}  {candidate_name:<{width}}"
+        f"   (L1 distance {l1_distance(target, candidate):.3f})"
+    )
+    lines = [header]
+    for label, t, c in zip(labels, t_bar, c_bar):
+        t_cells = _BAR * int(t / peak * width)
+        c_cells = _BAR * int(c / peak * width)
+        lines.append(
+            f"{str(label):>{label_width}}  {t_cells:<{width}}  {c_cells:<{width}}"
+        )
+    return "\n".join(lines)
+
+
+def render_result(
+    result: MatchResult,
+    target: np.ndarray,
+    candidate_labels: list[str] | None = None,
+    group_labels: list[str] | None = None,
+    width: int = 24,
+    max_candidates: int = 3,
+) -> str:
+    """A match result as target-vs-candidate panels, closest first."""
+    if max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+    blocks = []
+    for position, candidate in enumerate(result.matching[:max_candidates]):
+        name = (
+            candidate_labels[candidate]
+            if candidate_labels is not None
+            else f"candidate {candidate}"
+        )
+        blocks.append(
+            render_comparison(
+                target,
+                result.histograms[position],
+                labels=group_labels,
+                width=width,
+                candidate_name=f"#{position + 1} {name}",
+            )
+        )
+    return "\n\n".join(blocks)

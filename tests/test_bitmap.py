@@ -1,0 +1,169 @@
+"""Tests for bitmap indexes and density maps against brute-force truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import BlockBitmapIndex, DensityMap, build_bitmap_index, build_density_map
+from repro.storage import CategoricalAttribute, ColumnTable, Schema, shuffle_table
+
+
+def brute_force_presence(column, cardinality, block_size):
+    n = column.size
+    num_blocks = -(-n // block_size)
+    presence = np.zeros((cardinality, num_blocks), dtype=bool)
+    for b in range(num_blocks):
+        vals = column[b * block_size : (b + 1) * block_size]
+        presence[np.unique(vals), b] = True
+    return presence
+
+
+@pytest.fixture
+def column():
+    rng = np.random.default_rng(17)
+    return rng.integers(0, 11, size=1003)
+
+
+class TestBlockBitmapIndex:
+    def test_matches_brute_force(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        truth = brute_force_presence(column, 11, 64)
+        for v in range(11):
+            np.testing.assert_array_equal(idx.blocks_with_value(v), truth[v])
+
+    def test_contains_single_probe(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        truth = brute_force_presence(column, 11, 64)
+        for v in (0, 5, 10):
+            for b in (0, 7, idx.num_blocks - 1):
+                assert idx.contains(v, b) == truth[v, b]
+
+    def test_chunk_presence_window(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        truth = brute_force_presence(column, 11, 64)
+        values = np.array([2, 9, 4])
+        window = idx.chunk_presence(values, 3, 13)
+        np.testing.assert_array_equal(window, truth[values][:, 3:13])
+
+    def test_chunk_presence_unaligned_window(self, column):
+        """Windows not starting on a byte boundary must still be exact."""
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        truth = brute_force_presence(column, 11, 64)
+        window = idx.chunk_presence(np.array([1]), 5, 6)
+        np.testing.assert_array_equal(window, truth[[1]][:, 5:6])
+
+    def test_first_present_models_early_exit(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        truth = brute_force_presence(column, 11, 64)
+        values = np.array([7, 0, 3])
+        first = idx.first_present(values, 0, idx.num_blocks)
+        for b in range(idx.num_blocks):
+            present = [r for r, v in enumerate(values) if truth[v, b]]
+            expected = present[0] if present else len(values)
+            assert first[b] == expected
+
+    def test_empty_values(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        first = idx.first_present(np.array([], dtype=int), 0, 4)
+        np.testing.assert_array_equal(first, [0, 0, 0, 0])
+
+    def test_validation(self, column):
+        idx = BlockBitmapIndex.build(column, 11, block_size=64)
+        with pytest.raises(ValueError):
+            idx.contains(11, 0)
+        with pytest.raises(ValueError):
+            idx.contains(0, idx.num_blocks)
+        with pytest.raises(ValueError):
+            idx.chunk_presence(np.array([0]), 5, 3)
+        with pytest.raises(ValueError):
+            BlockBitmapIndex.build(np.array([11]), 11, 4)
+
+    def test_nbytes_one_bit_per_block_per_value(self):
+        col = np.zeros(6400, dtype=int)
+        idx = BlockBitmapIndex.build(col, 16, block_size=1)  # 6400 blocks
+        assert idx.nbytes == 16 * 800
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_property_matches_brute_force(self, n, cardinality, block_size, seed):
+        rng = np.random.default_rng(seed)
+        col = rng.integers(0, cardinality, size=n)
+        idx = BlockBitmapIndex.build(col, cardinality, block_size)
+        truth = brute_force_presence(col, cardinality, block_size)
+        got = idx.chunk_presence(np.arange(cardinality), 0, idx.num_blocks)
+        np.testing.assert_array_equal(got, truth)
+
+
+class TestDensityMap:
+    def test_block_counts_match_brute_force(self, column):
+        dm = DensityMap.build(column, 11, block_size=64)
+        for b in (0, 3, dm.num_blocks - 1):
+            vals, counts = dm.block_counts(b)
+            chunk = column[b * 64 : (b + 1) * 64]
+            expected = np.bincount(chunk, minlength=11)
+            got = np.zeros(11, dtype=int)
+            got[vals] = counts
+            np.testing.assert_array_equal(got, expected)
+
+    def test_tuples_matching_predicate_mask(self, column):
+        dm = DensityMap.build(column, 11, block_size=64)
+        mask = np.zeros(11, dtype=bool)
+        mask[[2, 5]] = True
+        got = dm.tuples_matching(mask, 2, 9)
+        for i, b in enumerate(range(2, 9)):
+            chunk = column[b * 64 : (b + 1) * 64]
+            assert got[i] == np.isin(chunk, [2, 5]).sum()
+
+    def test_value_totals(self, column):
+        dm = DensityMap.build(column, 11, block_size=64)
+        np.testing.assert_array_equal(dm.value_totals(), np.bincount(column, minlength=11))
+
+    def test_empty_column(self):
+        dm = DensityMap.build(np.array([], dtype=int), 5, 8)
+        assert dm.num_blocks == 0
+        np.testing.assert_array_equal(dm.value_totals(), np.zeros(5, dtype=int))
+
+    def test_validation(self, column):
+        dm = DensityMap.build(column, 11, block_size=64)
+        with pytest.raises(ValueError):
+            dm.block_counts(dm.num_blocks)
+        with pytest.raises(ValueError):
+            dm.tuples_matching(np.zeros(5, dtype=bool), 0, 1)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_property_totals_preserved(self, n, cardinality, block_size, seed):
+        rng = np.random.default_rng(seed)
+        col = rng.integers(0, cardinality, size=n)
+        dm = DensityMap.build(col, cardinality, block_size)
+        np.testing.assert_array_equal(
+            dm.value_totals(), np.bincount(col, minlength=cardinality)
+        )
+        full_mask = np.ones(cardinality, dtype=bool)
+        per_block = dm.tuples_matching(full_mask, 0, dm.num_blocks)
+        assert per_block.sum() == n
+
+
+class TestBuilder:
+    def test_build_from_shuffled_table(self):
+        rng = np.random.default_rng(23)
+        schema = Schema((CategoricalAttribute("z", tuple(f"v{i}" for i in range(5))),))
+        table = ColumnTable(schema, {"z": rng.integers(0, 5, size=400)})
+        shuffled = shuffle_table(table, block_size=32, rng=rng)
+        idx = build_bitmap_index(shuffled, "z")
+        dm = build_density_map(shuffled, "z")
+        assert idx.num_blocks == shuffled.num_blocks == dm.num_blocks
+        truth = brute_force_presence(shuffled.table.column("z"), 5, 32)
+        got = idx.chunk_presence(np.arange(5), 0, idx.num_blocks)
+        np.testing.assert_array_equal(got, truth)

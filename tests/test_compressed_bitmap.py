@@ -1,0 +1,110 @@
+"""Tests for WAH-compressed bitmaps (paper Section 4.1's compression note)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitmap import BlockBitmapIndex, WahBitmap, compress_index
+
+bit_vectors = hnp.arrays(
+    dtype=bool, shape=st.integers(min_value=0, max_value=400), elements=st.booleans()
+)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        w = WahBitmap.compress(np.zeros(0, dtype=bool))
+        assert w.num_bits == 0
+        assert w.decompress().size == 0
+
+    def test_all_zero_compresses_to_one_word(self):
+        w = WahBitmap.compress(np.zeros(31 * 1000, dtype=bool))
+        assert w.nbytes == 4
+        assert not w.decompress().any()
+
+    def test_all_one(self):
+        w = WahBitmap.compress(np.ones(31 * 7, dtype=bool))
+        assert w.nbytes == 4
+        assert w.decompress().all()
+
+    def test_mixed_pattern(self):
+        bits = np.zeros(200, dtype=bool)
+        bits[[0, 37, 38, 150, 199]] = True
+        w = WahBitmap.compress(bits)
+        np.testing.assert_array_equal(w.decompress(), bits)
+
+    @given(bit_vectors)
+    @settings(max_examples=150)
+    def test_property_roundtrip(self, bits):
+        w = WahBitmap.compress(bits)
+        np.testing.assert_array_equal(w.decompress(), bits)
+
+    @given(bit_vectors.filter(lambda b: b.size > 0))
+    @settings(max_examples=80)
+    def test_property_get_matches_decompress(self, bits):
+        w = WahBitmap.compress(bits)
+        positions = np.linspace(0, bits.size - 1, min(bits.size, 10)).astype(int)
+        for p in positions:
+            assert w.get(int(p)) == bits[p]
+
+
+class TestAnyInRange:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        bits = rng.random(500) < 0.03
+        w = WahBitmap.compress(bits)
+        for lo, hi in ((0, 500), (0, 1), (62, 62), (30, 95), (310, 340), (499, 500)):
+            assert w.any_in_range(lo, hi) == bool(bits[lo:hi].any()), (lo, hi)
+
+    @given(
+        bit_vectors.filter(lambda b: b.size > 0),
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=150)
+    def test_property_matches_slice(self, bits, a, b):
+        lo, hi = sorted((a % (bits.size + 1), b % (bits.size + 1)))
+        w = WahBitmap.compress(bits)
+        assert w.any_in_range(lo, hi) == bool(bits[lo:hi].any())
+
+    def test_range_validation(self):
+        w = WahBitmap.compress(np.zeros(10, dtype=bool))
+        with pytest.raises(ValueError):
+            w.any_in_range(0, 11)
+        with pytest.raises(IndexError):
+            w.get(10)
+
+
+class TestCompressionBehaviour:
+    def test_sparse_presence_compresses_hard(self):
+        """Rare candidates touch few blocks: the paper's compression claim."""
+        bits = np.zeros(100_000, dtype=bool)
+        bits[np.random.default_rng(0).choice(100_000, size=40, replace=False)] = True
+        w = WahBitmap.compress(bits)
+        assert w.compression_ratio() > 15
+
+    def test_dense_random_does_not_explode(self):
+        """Worst case (incompressible) stays within ~32/31 of raw size."""
+        rng = np.random.default_rng(1)
+        bits = rng.random(31 * 300) < 0.5
+        w = WahBitmap.compress(bits)
+        raw_bytes = bits.size / 8
+        assert w.nbytes <= raw_bytes * (32 / 31) * 1.05
+
+    def test_compress_index_matches_uncompressed_index(self):
+        rng = np.random.default_rng(2)
+        column = rng.integers(0, 20, size=5000)
+        idx = BlockBitmapIndex.build(column, 20, block_size=16)
+        presence = idx.chunk_presence(np.arange(20), 0, idx.num_blocks)
+        compressed = compress_index(presence)
+        assert len(compressed) == 20
+        for value in (0, 7, 19):
+            np.testing.assert_array_equal(
+                compressed[value].decompress(), presence[value]
+            )
+            # The AnyActive probe agrees between representations.
+            assert compressed[value].any_in_range(0, idx.num_blocks) == bool(
+                presence[value].any()
+            )

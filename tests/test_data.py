@@ -1,0 +1,273 @@
+"""Tests for the synthetic datasets, generator machinery, and workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import candidate_distances, l1_distance
+from repro.core.target import uniform_target
+from repro.data import (
+    QUERY_NAMES,
+    at_distance,
+    build_flights,
+    build_police,
+    build_taxi,
+    jittered,
+    load_dataset,
+    mixture,
+    peaked,
+    prepare_workload,
+    sizes_from_weights,
+    workload_query,
+    zipf_weights,
+)
+from repro.data.flights import ATW, ORD
+from repro.query import HistogramQuery, exact_candidate_counts
+
+FLIGHTS_TEST_ROWS = 120_000
+TAXI_TEST_ROWS = 400_000
+POLICE_TEST_ROWS = 150_000
+
+
+class TestGeneratorPrimitives:
+    def test_zipf_weights_normalized_descending(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        np.testing.assert_allclose(zipf_weights(5, 0.0), np.full(5, 0.2))
+
+    def test_sizes_exact_total(self):
+        rng = np.random.default_rng(0)
+        sizes = sizes_from_weights(zipf_weights(50, 1.0), 10_000, rng)
+        assert sizes.sum() == 10_000
+
+    def test_sizes_floor_respected_and_shape_kept(self):
+        rng = np.random.default_rng(1)
+        sizes = sizes_from_weights(zipf_weights(50, 1.2), 100_000, rng, min_rows=500)
+        assert sizes.sum() == 100_000
+        assert sizes.min() >= 500
+        assert sizes[0] > 5 * sizes[-1]  # skew survives the flooring
+
+    def test_sizes_infeasible_floor_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            sizes_from_weights(zipf_weights(10, 1.0), 50, rng, min_rows=10)
+
+    def test_jittered_concentration_controls_distance(self):
+        rng = np.random.default_rng(3)
+        base = np.full(24, 1.0 / 24)
+        close = np.mean(
+            [l1_distance(jittered(base, 5000.0, rng), base) for _ in range(20)]
+        )
+        far = np.mean([l1_distance(jittered(base, 50.0, rng), base) for _ in range(20)])
+        assert close < far
+
+    def test_peaked_and_mixture(self):
+        p = peaked(4, 2, 0.6)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[2] == p.max()
+        m = mixture([p, np.full(4, 0.25)], [0.5, 0.5])
+        assert m.sum() == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=2, max_value=48),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_at_distance_exact_placement(self, groups, fraction, seed):
+        rng = np.random.default_rng(seed)
+        base = np.full(groups, 1.0 / groups)
+        # Feasible range: a single peak can move at most 2(1 - 1/groups).
+        distance = fraction * 2.0 * (1.0 - 1.0 / groups)
+        out = at_distance(base, distance, rng)
+        assert out.sum() == pytest.approx(1.0)
+        assert l1_distance(out, base) == pytest.approx(distance, abs=1e-9)
+
+    def test_at_distance_validation(self):
+        rng = np.random.default_rng(0)
+        base = np.full(4, 0.25)
+        with pytest.raises(ValueError):
+            at_distance(base, 2.0, rng)
+        with pytest.raises(ValueError):
+            at_distance(base, 1.9, rng, peak=0)  # headroom 0.75: max 1.5
+        with pytest.raises(ValueError):
+            at_distance(np.array([1.0]), 0.5, rng, peak=0)
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return build_flights(rows=FLIGHTS_TEST_ROWS, seed=7)
+
+
+@pytest.fixture(scope="module")
+def taxi():
+    return build_taxi(rows=TAXI_TEST_ROWS, seed=7)
+
+
+@pytest.fixture(scope="module")
+def police():
+    return build_police(rows=POLICE_TEST_ROWS, seed=7)
+
+
+class TestFlights:
+    def test_schema_matches_table2(self, flights):
+        assert flights.table.schema.cardinality("origin") == 347
+        assert flights.table.schema.cardinality("dest") == 351
+        assert flights.table.schema.cardinality("dep_hour") == 24
+        assert flights.table.schema.cardinality("day_of_week") == 7
+        assert len(flights.table.schema.names) == 7
+        assert flights.num_rows == FLIGHTS_TEST_ROWS
+
+    def test_ord_is_largest_origin(self, flights):
+        sizes = flights.table.value_counts("origin")
+        assert int(np.argmax(sizes)) == ORD
+
+    def test_q1_cluster_closest_to_ord(self, flights):
+        counts = exact_candidate_counts(
+            flights.table, HistogramQuery("origin", "dep_hour")
+        )
+        d = candidate_distances(counts, counts[ORD])
+        top10 = set(np.argsort(d)[:10].tolist())
+        assert top10 == set(flights.metadata["q1_cluster"])
+
+    def test_q2_cluster_small_and_closest_to_atw(self, flights):
+        counts = exact_candidate_counts(
+            flights.table, HistogramQuery("origin", "dep_hour")
+        )
+        sizes = counts.sum(axis=1)
+        d = candidate_distances(counts, counts[ATW])
+        top10 = set(np.argsort(d)[:10].tolist())
+        assert top10 == set(flights.metadata["q2_cluster"])
+        # Rare top-k: every cluster member is far smaller than the hubs.
+        assert sizes[list(top10)].max() < sizes[ORD] / 10
+
+    def test_q3_monday_heavy_cluster(self, flights):
+        counts = exact_candidate_counts(
+            flights.table, HistogramQuery("origin", "day_of_week")
+        )
+        target = np.array([0.25] + [0.125] * 6)
+        d = candidate_distances(counts, target)
+        top5 = set(np.argsort(d)[:5].tolist())
+        assert top5 == set(flights.metadata["q3_cluster"])
+
+    def test_deterministic_given_seed(self):
+        a = build_flights(rows=30_000, seed=3)
+        b = build_flights(rows=30_000, seed=3)
+        np.testing.assert_array_equal(a.table.column("origin"), b.table.column("origin"))
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            build_flights(rows=100)
+
+
+class TestTaxi:
+    def test_schema_matches_table2(self, taxi):
+        assert taxi.table.schema.cardinality("location") == 7641
+        assert taxi.table.schema.cardinality("hour_of_day") == 24
+        assert taxi.table.schema.cardinality("month_of_year") == 12
+        assert len(taxi.table.schema.names) == 7
+
+    def test_ultra_rare_tail_matches_paper(self, taxi):
+        """Paper: more than 3000 candidates have fewer than 10 datapoints."""
+        sizes = taxi.table.value_counts("location")
+        assert (sizes <= 10).sum() > 3000
+
+    def test_flat_cluster_closest_to_uniform(self, taxi):
+        counts = exact_candidate_counts(
+            taxi.table, HistogramQuery("location", "hour_of_day")
+        )
+        sizes = counts.sum(axis=1)
+        d = candidate_distances(counts, uniform_target(24))
+        eligible = sizes >= 0.0008 * taxi.num_rows
+        d = np.where(eligible, d, np.inf)
+        top10 = set(np.argsort(d)[:10].tolist())
+        assert top10 == set(taxi.metadata["q1_cluster"])
+
+    def test_stragglers_low_selectivity(self, taxi):
+        sizes = taxi.table.value_counts("location")
+        sigma_rows = 0.0008 * taxi.num_rows
+        for loc in taxi.metadata["q1_stragglers"]:
+            assert sigma_rows <= sizes[loc] < 2.2 * sigma_rows
+
+    def test_borderline_band_below_sigma(self, taxi):
+        sizes = taxi.table.value_counts("location")
+        band = sizes[500:750]
+        sigma_rows = 0.0008 * taxi.num_rows
+        assert np.all(band < sigma_rows)
+        assert np.all(band >= 0.35 * sigma_rows)
+
+
+class TestPolice:
+    def test_schema_matches_table2(self, police):
+        assert police.table.schema.cardinality("road") == 210
+        assert police.table.schema.cardinality("violation") == 2110
+        assert police.table.schema.cardinality("contraband_found") == 2
+        assert police.table.schema.cardinality("officer_race") == 5
+        assert len(police.table.schema.names) == 10
+
+    def test_q1_cluster_near_even_contraband(self, police):
+        counts = exact_candidate_counts(
+            police.table, HistogramQuery("road", "contraband_found")
+        )
+        d = candidate_distances(counts, uniform_target(2))
+        top10 = set(np.argsort(d)[:10].tolist())
+        assert top10 == set(police.metadata["q1_cluster"])
+
+    def test_q3_cluster_among_frequent_violations(self, police):
+        counts = exact_candidate_counts(
+            police.table, HistogramQuery("violation", "driver_gender")
+        )
+        sizes = counts.sum(axis=1)
+        d = candidate_distances(counts, uniform_target(2))
+        eligible = sizes >= 0.0008 * police.num_rows
+        d = np.where(eligible, d, np.inf)
+        top5 = set(np.argsort(d)[:5].tolist())
+        assert top5 == set(police.metadata["q3_cluster"])
+
+    def test_violation_tail_below_sigma(self, police):
+        """q3 exercises stage-1 pruning: most violations are rare."""
+        sizes = police.table.value_counts("violation")
+        assert (sizes < 0.0008 * police.num_rows).sum() > 1500
+
+
+class TestWorkloads:
+    def test_all_nine_queries_defined(self):
+        assert len(QUERY_NAMES) == 9
+        for name in QUERY_NAMES:
+            dataset_name, query = workload_query(name)
+            assert dataset_name in ("flights", "taxi", "police")
+            assert query.name == name
+
+    def test_table3_cardinalities_and_k(self):
+        _, q = workload_query("flights-q4")
+        assert (q.candidate_attribute, q.grouping_attribute, q.k) == ("origin", "dest", 10)
+        _, q = workload_query("taxi-q1")
+        assert (q.candidate_attribute, q.grouping_attribute, q.k) == (
+            "location", "hour_of_day", 10,
+        )
+        _, q = workload_query("police-q3")
+        assert (q.candidate_attribute, q.grouping_attribute, q.k) == (
+            "violation", "driver_gender", 5,
+        )
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ValueError):
+            workload_query("flights-q9")
+
+    def test_prepare_workload_caches(self):
+        a = prepare_workload("flights-q3", rows=FLIGHTS_TEST_ROWS, seed=7)
+        b = prepare_workload("flights-q3", rows=FLIGHTS_TEST_ROWS, seed=7)
+        assert a is b
+        assert a.exact_counts.shape == (347, 7)
+        assert a.target.shape == (7,)
+
+    def test_load_dataset_caches_and_validates(self):
+        a = load_dataset("flights", rows=30_000, seed=3)
+        b = load_dataset("flights", rows=30_000, seed=3)
+        assert a is b
+        with pytest.raises(ValueError):
+            load_dataset("stocks")

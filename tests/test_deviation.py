@@ -1,0 +1,161 @@
+"""Tests for Theorem 1's concentration bound and Eq. 1 budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deviation import (
+    deviation_log_pvalue,
+    deviation_pvalue,
+    epsilon_given_samples,
+    samples_for_deviation,
+    stage2_sample_budget,
+    stage3_sample_target,
+)
+
+
+class TestEpsilonGivenSamples:
+    def test_known_value(self):
+        # eps = sqrt(2/n (v ln2 + ln(1/delta)))
+        n, delta, v = 1000, 0.1, 8
+        expected = np.sqrt(2.0 / n * (v * np.log(2) + np.log(10.0)))
+        assert epsilon_given_samples(n, delta, v) == pytest.approx(expected)
+
+    def test_zero_samples_is_infinite(self):
+        assert epsilon_given_samples(0, 0.1, 4) == np.inf
+
+    def test_vectorized(self):
+        out = epsilon_given_samples(np.array([0, 10, 1000]), 0.05, 4)
+        assert out.shape == (3,)
+        assert out[0] == np.inf
+        assert out[1] > out[2]
+
+    def test_monotone_decreasing_in_n(self):
+        v, delta = 24, 0.01
+        eps = epsilon_given_samples(np.arange(1, 500), delta, v)
+        assert np.all(np.diff(eps) < 0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            epsilon_given_samples(10, 0.0, 4)
+        with pytest.raises(ValueError):
+            epsilon_given_samples(10, 1.0, 4)
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            epsilon_given_samples(10, 0.1, 0)
+
+
+class TestSamplesForDeviation:
+    def test_roundtrip_with_epsilon(self):
+        """n(ε, δ) samples must guarantee deviation at most ε."""
+        for v in (2, 24, 351):
+            for eps in (0.02, 0.04, 0.11):
+                n = samples_for_deviation(eps, 0.01, v)
+                assert epsilon_given_samples(n, 0.01, v) <= eps + 1e-12
+                # And one fewer sample is not quite enough (ceil tightness).
+                assert epsilon_given_samples(n - 1, 0.01, v) > eps - 1e-3
+
+    def test_scales_inverse_square_epsilon(self):
+        n1 = samples_for_deviation(0.02, 0.01, 24)
+        n2 = samples_for_deviation(0.04, 0.01, 24)
+        assert n1 == pytest.approx(4 * n2, rel=0.01)
+
+    def test_scales_linearly_in_support(self):
+        n1 = samples_for_deviation(0.04, 0.01, 100)
+        n2 = samples_for_deviation(0.04, 0.01, 200)
+        assert n2 / n1 == pytest.approx(2.0, rel=0.15)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            samples_for_deviation(0.0, 0.1, 4)
+
+
+class TestDeviationPvalue:
+    def test_matches_direct_formula_small_support(self):
+        eps, n, v = 0.1, 500, 8
+        direct = (2.0**v) * np.exp(-(eps**2) * n / 2.0)
+        assert deviation_pvalue(eps, n, v) == pytest.approx(min(1.0, direct))
+
+    def test_no_overflow_large_support(self):
+        """2^351 overflows float64; log-space computation must survive."""
+        out = deviation_log_pvalue(0.04, 10, 351)
+        assert np.isfinite(out)
+        assert out > 0.0 - 1e-9  # clamped at ln 1 = 0 (not rejectable yet)
+
+    def test_large_support_eventually_rejects(self):
+        v = 351
+        n = samples_for_deviation(0.04, 1e-6, v)
+        assert deviation_log_pvalue(0.04, n, v) <= np.log(1e-6) + 1e-9
+
+    def test_nonpositive_epsilon_gives_pvalue_one(self):
+        assert deviation_pvalue(-0.5, 100, 4) == pytest.approx(1.0)
+        assert deviation_pvalue(0.0, 100, 4) == pytest.approx(1.0)
+
+    def test_infinite_epsilon_gives_pvalue_zero(self):
+        assert deviation_pvalue(np.inf, 100, 4) == pytest.approx(0.0)
+        assert deviation_pvalue(np.inf, 0, 4) == pytest.approx(0.0)
+
+    def test_zero_samples_gives_pvalue_one(self):
+        assert deviation_pvalue(0.3, 0, 4) == pytest.approx(1.0)
+
+    def test_clamped_at_one(self):
+        assert deviation_pvalue(1e-6, 1, 24) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1.9),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=100)
+    def test_consistency_with_epsilon_inverse(self, eps, n, v):
+        """P-value at ε(n, δ) must be at most δ."""
+        delta = 0.05
+        eps_bound = epsilon_given_samples(n, delta, v)
+        if np.isfinite(eps_bound):
+            assert deviation_pvalue(eps_bound, n, v) <= delta * (1 + 1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_epsilon(self, n, v):
+        eps_grid = np.linspace(0.01, 1.9, 16)
+        p = deviation_log_pvalue(eps_grid, n, v)
+        assert np.all(np.diff(p) <= 1e-12)
+
+
+class TestStage2Budget:
+    def test_matches_equation_one(self):
+        eps_prime, delta_upper, v = 0.05, 0.001, 24
+        expected = np.ceil(2 * (v * np.log(2) - np.log(delta_upper)) / eps_prime**2)
+        out = stage2_sample_budget(np.array([eps_prime]), delta_upper, v)
+        assert out[0] == pytest.approx(expected)
+
+    def test_budget_suffices_for_rejection(self):
+        """Taking n'_i samples and observing margin ε'_i must reject at δ_upper."""
+        eps_prime, delta_upper, v = 0.07, 1e-4, 24
+        n = stage2_sample_budget(np.array([eps_prime]), delta_upper, v)[0]
+        assert deviation_pvalue(eps_prime, n, v) <= delta_upper * (1 + 1e-9)
+
+    def test_nonpositive_margin_infinite(self):
+        out = stage2_sample_budget(np.array([0.0, -1.0, 0.1]), 0.01, 4)
+        assert out[0] == np.inf and out[1] == np.inf and np.isfinite(out[2])
+
+    def test_smaller_delta_upper_needs_more(self):
+        a = stage2_sample_budget(np.array([0.05]), 0.01, 24)[0]
+        b = stage2_sample_budget(np.array([0.05]), 0.0001, 24)[0]
+        assert b > a
+
+
+class TestStage3Target:
+    def test_matches_line_26(self):
+        eps, delta, k, v = 0.04, 0.01, 10, 24
+        expected = np.ceil(2 / eps**2 * (v * np.log(2) + np.log(3 * k / delta)))
+        assert stage3_sample_target(eps, delta, k, v) == expected
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            stage3_sample_target(0.04, 0.01, 0, 24)

@@ -1,0 +1,150 @@
+"""Unit and property tests for repro.core.distance (paper Definition 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import (
+    candidate_distances,
+    kl_divergence,
+    l1_distance,
+    l2_distance,
+    normalize,
+    total_variation,
+)
+
+histograms = hnp.arrays(
+    dtype=np.float64,
+    shape=st.shared(st.integers(min_value=1, max_value=24), key="support"),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+def nonzero(h):
+    return h.sum() > 0
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        out = normalize(np.array([2.0, 3.0, 5.0]))
+        assert out.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(out, [0.2, 0.3, 0.5])
+
+    def test_zero_vector_stays_zero(self):
+        np.testing.assert_array_equal(normalize(np.zeros(4)), np.zeros(4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize(np.array([1.0, -1.0]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            normalize(np.float64(3.0))
+
+    def test_matrix_rows_normalized_independently(self):
+        m = np.array([[1.0, 1.0], [3.0, 1.0], [0.0, 0.0]])
+        out = normalize(m)
+        np.testing.assert_allclose(out[0], [0.5, 0.5])
+        np.testing.assert_allclose(out[1], [0.75, 0.25])
+        np.testing.assert_allclose(out[2], [0.0, 0.0])
+
+
+class TestL1Distance:
+    def test_identical_histograms_distance_zero(self):
+        h = np.array([5.0, 2.0, 3.0])
+        assert l1_distance(h, h) == pytest.approx(0.0)
+
+    def test_scaling_invariance(self):
+        """Figure 3's point: scaled copies are identical post-normalization."""
+        h = np.array([5.0, 2.0, 3.0])
+        assert l1_distance(h, 1000 * h) == pytest.approx(0.0)
+
+    def test_disjoint_support_is_two(self):
+        assert l1_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert l1_distance(np.array([1.0, 1.0]), np.array([1.0, 3.0])) == pytest.approx(0.5)
+
+    def test_mismatched_support_raises(self):
+        with pytest.raises(ValueError):
+            l1_distance(np.ones(3), np.ones(4))
+
+    @given(histograms.filter(nonzero), histograms.filter(nonzero))
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert l1_distance(a, b) == pytest.approx(l1_distance(b, a))
+
+    @given(histograms.filter(nonzero), histograms.filter(nonzero))
+    @settings(max_examples=80)
+    def test_range(self, a, b):
+        d = l1_distance(a, b)
+        assert 0.0 <= d <= 2.0 + 1e-12
+
+    @given(
+        histograms.filter(nonzero), histograms.filter(nonzero), histograms.filter(nonzero)
+    )
+    @settings(max_examples=80)
+    def test_triangle_inequality(self, a, b, c):
+        assert l1_distance(a, c) <= l1_distance(a, b) + l1_distance(b, c) + 1e-9
+
+    @given(histograms.filter(nonzero), histograms.filter(nonzero))
+    @settings(max_examples=80)
+    def test_l1_dominates_l2(self, a, b):
+        assert l2_distance(a, b) <= l1_distance(a, b) + 1e-9
+
+
+class TestOtherMetrics:
+    def test_total_variation_is_half_l1(self):
+        a, b = np.array([1.0, 3.0]), np.array([2.0, 2.0])
+        assert total_variation(a, b) == pytest.approx(0.5 * l1_distance(a, b))
+
+    def test_l2_known_value(self):
+        d = l2_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert d == pytest.approx(np.sqrt(2.0))
+
+    def test_kl_infinite_on_support_mismatch(self):
+        """Section 2.1's objection to KL as a matching metric."""
+        assert kl_divergence(np.array([1.0, 1.0]), np.array([1.0, 0.0])) == np.inf
+
+    def test_kl_zero_for_identical(self):
+        h = np.array([2.0, 5.0, 3.0])
+        assert kl_divergence(h, h) == pytest.approx(0.0)
+
+    def test_kl_known_value(self):
+        p, q = np.array([1.0, 1.0]), np.array([1.0, 3.0])
+        expected = 0.5 * np.log(0.5 / 0.25) + 0.5 * np.log(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_l2_insensitive_to_disjoint_spread(self):
+        """Section 2.1: L2 can be small for disjoint-support distributions."""
+        n = 100
+        p = np.zeros(2 * n)
+        q = np.zeros(2 * n)
+        p[:n] = 1.0 / n
+        q[n:] = 1.0 / n
+        assert l1_distance(p, q) == pytest.approx(2.0)
+        assert l2_distance(p, q) < 0.2
+
+
+class TestCandidateDistances:
+    def test_matches_scalar_function(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 50, size=(8, 5)).astype(float)
+        counts[3] = 0  # empty candidate
+        target = rng.integers(1, 50, size=5).astype(float)
+        vec = candidate_distances(counts, target)
+        for i in range(8):
+            assert vec[i] == pytest.approx(l1_distance(counts[i], target))
+
+    def test_empty_candidate_distance_is_one_for_proper_target(self):
+        counts = np.zeros((1, 4))
+        target = np.ones(4)
+        assert candidate_distances(counts, target)[0] == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            candidate_distances(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            candidate_distances(np.ones((2, 3)), np.ones(4))

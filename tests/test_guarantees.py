@@ -1,0 +1,133 @@
+"""Tests for guarantee auditing and the Δd metric (Sections 2.2, 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guarantees import audit_result, delta_d, true_top_k
+from repro.core.result import MatchResult, StageStats
+
+
+def make_result(matching, histograms, distances=None):
+    matching = tuple(matching)
+    histograms = np.asarray(histograms, dtype=float)
+    if distances is None:
+        distances = np.zeros(len(matching))
+    return MatchResult(
+        matching=matching,
+        histograms=histograms,
+        distances=np.asarray(distances, dtype=float),
+        pruned=(),
+        exact=False,
+        stats=StageStats(),
+    )
+
+
+@pytest.fixture
+def world():
+    """Four candidates over two groups with known distances to q=[1,1].
+
+    distances to uniform: c0: 0.0, c1: 0.1, c2: 0.5, c3: 1.0
+    """
+    exact = np.array(
+        [
+            [50.0, 50.0],
+            [45.0, 55.0],
+            [25.0, 75.0],
+            [0.0, 100.0],
+        ]
+    )
+    target = np.array([1.0, 1.0])
+    return exact, target
+
+
+class TestTrueTopK:
+    def test_orders_by_distance(self, world):
+        exact, target = world
+        np.testing.assert_array_equal(true_top_k(exact, target, 2), [0, 1])
+        np.testing.assert_array_equal(true_top_k(exact, target, 4), [0, 1, 2, 3])
+
+    def test_sigma_excludes_rare(self, world):
+        exact, target = world
+        exact = exact.copy()
+        exact[0] = [1.0, 1.0]  # closest but tiny: 2 rows of ~302
+        top = true_top_k(exact, target, 2, sigma=0.05)
+        np.testing.assert_array_equal(top, [1, 2])
+
+    def test_empty_counts_raise(self):
+        with pytest.raises(ValueError):
+            true_top_k(np.zeros((2, 2)), np.ones(2), 1)
+
+
+class TestDeltaD:
+    def test_perfect_selection_is_zero(self, world):
+        exact, target = world
+        assert delta_d(np.array([0, 1]), exact, target, 2) == pytest.approx(0.0)
+
+    def test_suboptimal_selection_positive(self, world):
+        exact, target = world
+        val = delta_d(np.array([0, 2]), exact, target, 2)
+        # (0.0 + 0.5 - (0.0 + 0.1)) / 0.1 = 4.0
+        assert val == pytest.approx(4.0)
+
+    def test_negative_when_beating_sigma_limited_truth(self, world):
+        """Returning a rare-but-closer candidate makes Δd negative (Section 5.3)."""
+        exact, target = world
+        exact = exact.copy()
+        exact[0] = [1.0, 1.0]  # rare and perfect
+        val = delta_d(np.array([0, 1]), exact, target, 2, sigma=0.05)
+        assert val < 0
+
+
+class TestAudit:
+    def test_correct_output_passes(self, world):
+        exact, target = world
+        result = make_result([0, 1], exact[[0, 1]])
+        audit = audit_result(result, exact, target, epsilon=0.1, sigma=0.0)
+        assert audit.separation_ok
+        assert audit.reconstruction_ok
+        assert audit.ok
+
+    def test_separation_violation_detected(self, world):
+        exact, target = world
+        # Returning c3 (distance 1.0) while c1 (0.2) is excluded: gap 0.8 > ε.
+        result = make_result([0, 3], exact[[0, 3]])
+        audit = audit_result(result, exact, target, epsilon=0.1, sigma=0.0)
+        assert not audit.separation_ok
+
+    def test_separation_tolerates_near_ties(self, world):
+        exact, target = world
+        # Swap c1 (0.2) for c2 (0.5) with ε = 0.5: |0.5 - 0.2| < 0.5 -> OK.
+        result = make_result([0, 2], exact[[0, 2]])
+        audit = audit_result(result, exact, target, epsilon=0.5, sigma=0.0)
+        assert audit.separation_ok
+
+    def test_separation_ignores_rare_candidates(self, world):
+        exact, target = world
+        exact = exact.copy()
+        exact[1] = [9.0, 11.0]  # now rare (20 of ~270 rows is 7.4%)
+        result = make_result([0, 2], exact[[0, 2]])
+        audit = audit_result(result, exact, target, epsilon=0.1, sigma=0.08)
+        assert audit.separation_ok
+
+    def test_reconstruction_violation_detected(self, world):
+        exact, target = world
+        bad_histogram = np.array([[100.0, 0.0], [45.0, 55.0]])  # c0 badly wrong
+        result = make_result([0, 1], bad_histogram)
+        audit = audit_result(result, exact, target, epsilon=0.3, sigma=0.0)
+        assert not audit.reconstruction_ok
+        assert audit.worst_reconstruction_error == pytest.approx(1.0)
+
+    def test_reconstruction_scale_invariant(self, world):
+        exact, target = world
+        scaled = exact[[0, 1]] * 0.01  # sampled counts are scaled-down truth
+        result = make_result([0, 1], scaled)
+        audit = audit_result(result, exact, target, epsilon=0.01, sigma=0.0)
+        assert audit.reconstruction_ok
+
+    def test_empty_output_with_all_rare(self):
+        exact = np.array([[1.0, 0.0], [0.0, 1.0]])
+        result = make_result([], np.zeros((0, 2)))
+        audit = audit_result(result, exact, np.ones(2), epsilon=0.1, sigma=0.9)
+        assert audit.separation_ok
+        audit2 = audit_result(result, exact, np.ones(2), epsilon=0.1, sigma=0.1)
+        assert not audit2.separation_ok

@@ -1,0 +1,91 @@
+"""Property-based fuzzing of HistSim on random small populations.
+
+Whatever the population looks like, a finished run must produce
+structurally valid output, and — because these populations are small
+enough that runs frequently go exact — the guarantees must hold whenever
+audited.  This complements the targeted statistical tests in
+test_histsim.py with breadth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArraySampler,
+    HistSimConfig,
+    audit_result,
+    run_histsim,
+    uniform_target,
+)
+
+
+@st.composite
+def populations(draw):
+    num_candidates = draw(st.integers(min_value=1, max_value=12))
+    num_groups = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rows = draw(st.integers(min_value=num_candidates, max_value=4000))
+    k = draw(st.integers(min_value=1, max_value=num_candidates))
+    rng = np.random.default_rng(seed)
+    z = rng.integers(0, num_candidates, size=rows)
+    x = rng.integers(0, num_groups, size=rows)
+    return z, x, num_candidates, num_groups, k, seed
+
+
+@given(populations())
+@settings(max_examples=60, deadline=None)
+def test_histsim_structural_invariants(population):
+    z, x, num_candidates, num_groups, k, seed = population
+    rng = np.random.default_rng(seed + 1)
+    sampler = ArraySampler(z, x, num_candidates, num_groups, rng, batch_size=257)
+    config = HistSimConfig(
+        k=k, epsilon=0.3, delta=0.1, sigma=0.0, stage1_samples=200,
+        min_round_samples=32,
+    )
+    target = uniform_target(num_groups)
+    result = run_histsim(sampler, target, config)
+
+    # Output structure.
+    assert len(result.matching) == len(set(result.matching))
+    assert len(result.matching) <= k
+    assert result.histograms.shape == (len(result.matching), num_groups)
+    assert np.all(np.diff(result.distances) >= -1e-12)
+    assert np.all((result.distances >= 0) & (result.distances <= 2.0 + 1e-12))
+
+    # Sampling accounting: never deliver more rows than exist.
+    assert result.stats.total_samples <= z.size
+
+    # Matching and pruned sets are disjoint; all indices valid.
+    assert not (set(result.matching) & set(result.pruned))
+    assert all(0 <= c < num_candidates for c in result.matching)
+
+    # Guarantees against ground truth (sigma=0: every candidate eligible).
+    exact = np.zeros((num_candidates, num_groups), dtype=np.int64)
+    np.add.at(exact, (z, x), 1)
+    if result.exact:
+        audit = audit_result(result, exact, target, config.epsilon, config.sigma)
+        assert audit.reconstruction_ok  # exact runs reconstruct perfectly
+
+
+@given(populations())
+@settings(max_examples=30, deadline=None)
+def test_histsim_deterministic_given_seed(population):
+    z, x, num_candidates, num_groups, k, seed = population
+    config = HistSimConfig(
+        k=k, epsilon=0.3, delta=0.1, sigma=0.0, stage1_samples=200,
+        min_round_samples=32,
+    )
+    target = uniform_target(num_groups)
+
+    def one_run():
+        sampler = ArraySampler(
+            z, x, num_candidates, num_groups, np.random.default_rng(seed), batch_size=97
+        )
+        return run_histsim(sampler, target, config)
+
+    a, b = one_run(), one_run()
+    assert a.matching == b.matching
+    np.testing.assert_array_equal(a.histograms, b.histograms)
+    assert a.stats.total_samples == b.stats.total_samples

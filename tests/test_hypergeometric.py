@@ -1,0 +1,94 @@
+"""Tests for the stage-1 under-representation test (Section 3.3)."""
+
+import numpy as np
+import pytest
+from scipy.stats import hypergeom
+
+from repro.core.hypergeometric import (
+    rare_threshold,
+    underrepresentation_pvalue,
+    underrepresentation_pvalues,
+)
+
+
+class TestRareThreshold:
+    def test_ceiling(self):
+        assert rare_threshold(1000, 0.0008) == 1
+        assert rare_threshold(10_000, 0.0008) == 8
+        assert rare_threshold(10_001, 0.0008) == 9
+
+    def test_zero_sigma(self):
+        assert rare_threshold(1000, 0.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rare_threshold(-1, 0.5)
+        with pytest.raises(ValueError):
+            rare_threshold(10, 1.5)
+
+
+class TestPvalues:
+    def test_matches_scipy_cdf(self):
+        n_total, sigma, m = 100_000, 0.001, 5_000
+        threshold = rare_threshold(n_total, sigma)
+        for observed in (0, 1, 3, 10, 50):
+            expected = hypergeom.cdf(observed, n_total, threshold, m)
+            got = underrepresentation_pvalue(observed, n_total, sigma, m)
+            assert got == pytest.approx(expected)
+
+    def test_zero_observed_is_surprising_for_common_candidate(self):
+        """Seeing nothing from a 1%-selectivity candidate in 10k samples."""
+        p = underrepresentation_pvalue(0, 1_000_000, 0.01, 10_000)
+        assert p < 1e-20
+
+    def test_expected_count_is_unsurprising(self):
+        """Observing roughly σ·m tuples should not look rare."""
+        n_total, sigma, m = 1_000_000, 0.01, 10_000
+        p = underrepresentation_pvalue(int(sigma * m), n_total, sigma, m)
+        assert p > 0.4
+
+    def test_monotone_in_observed(self):
+        n_total, sigma, m = 500_000, 0.005, 20_000
+        counts = np.arange(0, 200)
+        p = underrepresentation_pvalues(counts, n_total, sigma, m)
+        assert np.all(np.diff(p) >= 0)
+
+    def test_sigma_zero_never_flags(self):
+        p = underrepresentation_pvalues(np.array([0, 1, 5]), 1000, 0.0, 100)
+        np.testing.assert_array_equal(p, np.ones(3))
+
+    def test_shared_computation_matches_elementwise(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 40, size=100)
+        n_total, sigma, m = 2_000_000, 0.0008, 500_000
+        vec = underrepresentation_pvalues(counts, n_total, sigma, m)
+        for i in (0, 17, 55, 99):
+            assert vec[i] == pytest.approx(
+                underrepresentation_pvalue(int(counts[i]), n_total, sigma, m)
+            )
+
+    def test_pvalues_in_unit_interval(self):
+        counts = np.arange(0, 5000, 37)
+        p = underrepresentation_pvalues(counts, 10_000_000, 0.0008, 500_000)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            underrepresentation_pvalues(np.array([[1]]), 10, 0.5, 5)
+        with pytest.raises(ValueError):
+            underrepresentation_pvalues(np.array([-1]), 10, 0.5, 5)
+        with pytest.raises(ValueError):
+            underrepresentation_pvalues(np.array([1]), 10, 0.5, 11)
+
+    def test_type_one_error_monte_carlo(self):
+        """Rejecting at level 0.05 flags a boundary candidate ~5% of the time."""
+        rng = np.random.default_rng(42)
+        n_total, sigma = 20_000, 0.01
+        threshold = rare_threshold(n_total, sigma)  # exactly at the boundary
+        m = 2_000
+        trials = 400
+        # Draw hypergeometric counts for a candidate with exactly σN rows.
+        counts = rng.hypergeometric(threshold, n_total - threshold, m, size=trials)
+        p = underrepresentation_pvalues(counts, n_total, sigma, m)
+        false_positive_rate = np.mean(p <= 0.05)
+        assert false_positive_rate <= 0.08  # 5% nominal + MC slack

@@ -1,0 +1,202 @@
+"""Tests for query templates, predicates, binning, and the exact executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.target import TargetSpec
+from repro.query import (
+    And,
+    Equals,
+    HistogramQuery,
+    InRange,
+    IsIn,
+    Not,
+    Or,
+    TruePredicate,
+    coarsen,
+    equal_width_bins,
+    exact_candidate_counts,
+    exact_histogram,
+    quantile_bins,
+)
+from repro.storage import CategoricalAttribute, ColumnTable, Schema
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(7)
+    schema = Schema(
+        (
+            CategoricalAttribute("country", tuple(f"c{i}" for i in range(6))),
+            CategoricalAttribute("bracket", tuple(f"b{i}" for i in range(4))),
+            CategoricalAttribute("gender", ("f", "m")),
+        )
+    )
+    n = 5000
+    return ColumnTable(
+        schema,
+        {
+            "country": rng.integers(0, 6, size=n),
+            "bracket": rng.integers(0, 4, size=n),
+            "gender": rng.integers(0, 2, size=n),
+        },
+    )
+
+
+class TestPredicates:
+    def test_true_predicate(self, table):
+        assert TruePredicate().mask(table).all()
+
+    def test_equals(self, table):
+        mask = Equals("gender", 1).mask(table)
+        np.testing.assert_array_equal(mask, table.column("gender") == 1)
+
+    def test_equals_range_check(self, table):
+        with pytest.raises(ValueError):
+            Equals("gender", 5).mask(table)
+
+    def test_isin(self, table):
+        mask = IsIn("country", (1, 4)).mask(table)
+        expected = np.isin(table.column("country"), [1, 4])
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_inrange(self, table):
+        mask = InRange("bracket", 1, 2).mask(table)
+        col = table.column("bracket")
+        np.testing.assert_array_equal(mask, (col >= 1) & (col <= 2))
+
+    def test_inrange_empty_rejected(self, table):
+        with pytest.raises(ValueError):
+            InRange("bracket", 3, 1).mask(table)
+
+    def test_boolean_composition(self, table):
+        p = (Equals("gender", 0) & IsIn("country", (0, 1))) | Not(
+            InRange("bracket", 0, 2)
+        )
+        mask = p.mask(table)
+        g, c, b = (table.column(n) for n in ("gender", "country", "bracket"))
+        expected = ((g == 0) & np.isin(c, [0, 1])) | ~((b >= 0) & (b <= 2))
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_operators_build_trees(self):
+        p = Equals("a", 0) & Equals("b", 1)
+        assert isinstance(p, And)
+        q = Equals("a", 0) | Equals("b", 1)
+        assert isinstance(q, Or)
+        r = ~Equals("a", 0)
+        assert isinstance(r, Not)
+
+
+class TestHistogramQuery:
+    def test_cardinalities(self, table):
+        q = HistogramQuery("country", "bracket")
+        assert q.cardinalities(table) == (6, 4)
+
+    def test_same_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramQuery("country", "country")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HistogramQuery("country", "bracket", k=0)
+
+    def test_validate_against(self, table):
+        q = HistogramQuery("country", "missing")
+        with pytest.raises(ValueError):
+            q.validate_against(table)
+
+
+class TestExecutor:
+    def test_counts_match_brute_force(self, table):
+        q = HistogramQuery("country", "bracket")
+        counts = exact_candidate_counts(table, q)
+        c, b = table.column("country"), table.column("bracket")
+        for zi in range(6):
+            expected = np.bincount(b[c == zi], minlength=4)
+            np.testing.assert_array_equal(counts[zi], expected)
+
+    def test_counts_respect_predicate(self, table):
+        q = HistogramQuery("country", "bracket", predicate=Equals("gender", 0))
+        counts = exact_candidate_counts(table, q)
+        c, b, g = (table.column(n) for n in ("country", "bracket", "gender"))
+        keep = g == 0
+        for zi in range(6):
+            expected = np.bincount(b[keep & (c == zi)], minlength=4)
+            np.testing.assert_array_equal(counts[zi], expected)
+
+    def test_total_preserved(self, table):
+        q = HistogramQuery("country", "bracket")
+        assert exact_candidate_counts(table, q).sum() == len(table)
+
+    def test_exact_histogram_single_candidate(self, table):
+        q = HistogramQuery("country", "bracket")
+        counts = exact_candidate_counts(table, q)
+        np.testing.assert_array_equal(exact_histogram(table, q, 3), counts[3])
+        with pytest.raises(ValueError):
+            exact_histogram(table, q, 6)
+
+    def test_sql_semantics_example(self):
+        """The Definition 1 census example, verified row by row."""
+        schema = Schema(
+            (
+                CategoricalAttribute("country", ("greece", "italy")),
+                CategoricalAttribute("income", ("low", "mid", "high")),
+            )
+        )
+        table = ColumnTable(
+            schema,
+            {
+                "country": np.array([0, 0, 0, 1, 1, 1, 1]),
+                "income": np.array([0, 0, 2, 0, 1, 1, 2]),
+            },
+        )
+        q = HistogramQuery("country", "income")
+        counts = exact_candidate_counts(table, q)
+        np.testing.assert_array_equal(counts, [[2, 0, 1], [1, 2, 1]])
+
+
+class TestBinning:
+    def test_equal_width(self):
+        attr = equal_width_bins("hour", 0, 24, 24)
+        assert attr.cardinality == 24
+        codes = attr.encode(np.array([0.0, 11.5, 23.999]))
+        np.testing.assert_array_equal(codes, [0, 11, 23])
+
+    def test_equal_width_validation(self):
+        with pytest.raises(ValueError):
+            equal_width_bins("x", 0, 24, 0)
+        with pytest.raises(ValueError):
+            equal_width_bins("x", 5, 5, 3)
+
+    def test_quantile_bins_balance(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(size=20_000)
+        attr = quantile_bins("v", values, 10)
+        codes = attr.encode(values)
+        counts = np.bincount(codes, minlength=attr.cardinality)
+        assert counts.min() > 0.5 * counts.max()
+
+    def test_quantile_bins_validation(self):
+        with pytest.raises(ValueError):
+            quantile_bins("v", np.array([]), 4)
+        with pytest.raises(ValueError):
+            quantile_bins("v", np.ones(100), 4)  # degenerate data
+
+    def test_coarsen_halves_bins(self):
+        attr = equal_width_bins("hour", 0, 24, 24)
+        coarse = coarsen(attr, 4)
+        assert coarse.cardinality == 6
+        assert coarse.edges[0] == 0 and coarse.edges[-1] == 24
+
+    def test_coarsen_preserves_ordering(self):
+        attr = equal_width_bins("hour", 0, 24, 24)
+        coarse = coarsen(attr, 4)
+        raw = np.array([0.5, 7.2, 23.9])
+        fine = attr.encode(raw)
+        merged = coarse.encode(raw)
+        np.testing.assert_array_equal(merged, fine // 4)
+
+    def test_coarsen_keeps_last_edge_on_uneven_factor(self):
+        attr = equal_width_bins("x", 0, 10, 10)
+        coarse = coarsen(attr, 3)
+        assert coarse.edges[-1] == 10

@@ -1,0 +1,124 @@
+"""Tests for the in-memory ArraySampler (uniformity and budget semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import ArraySampler, TupleSampler
+
+
+def make_sampler(n=10_000, candidates=5, groups=4, seed=0, batch=512):
+    rng = np.random.default_rng(seed)
+    z = rng.integers(0, candidates, size=n)
+    x = rng.integers(0, groups, size=n)
+    return ArraySampler(z, x, candidates, groups, rng, batch_size=batch), z, x
+
+
+class TestProtocol:
+    def test_satisfies_tuple_sampler_protocol(self):
+        sampler, _, _ = make_sampler()
+        assert isinstance(sampler, TupleSampler)
+
+    def test_metadata(self):
+        sampler, z, _ = make_sampler()
+        assert sampler.total_rows == z.size
+        assert sampler.num_candidates == 5
+        assert sampler.num_groups == 4
+        np.testing.assert_array_equal(
+            sampler.candidate_rows(), np.bincount(z, minlength=5)
+        )
+
+
+class TestSampleUniform:
+    def test_returns_requested_count(self):
+        sampler, _, _ = make_sampler()
+        counts = sampler.sample_uniform(1000)
+        assert counts.sum() == 1000
+        assert counts.shape == (5, 4)
+
+    def test_truncates_at_end_of_data(self):
+        sampler, _, _ = make_sampler(n=100)
+        counts = sampler.sample_uniform(1000)
+        assert counts.sum() == 100
+        assert sampler.fully_scanned
+
+    def test_joint_counts_match_data(self):
+        """Consuming everything must reproduce the exact joint histogram."""
+        sampler, z, x = make_sampler(n=3000)
+        counts = sampler.sample_uniform(3000)
+        expected = np.zeros((5, 4), dtype=np.int64)
+        np.add.at(expected, (z, x), 1)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_sampling_is_without_replacement(self):
+        sampler, _, _ = make_sampler(n=1000)
+        a = sampler.sample_uniform(600)
+        b = sampler.sample_uniform(600)
+        assert a.sum() == 600
+        assert b.sum() == 400  # only 400 rows remained
+
+    def test_uniformity_chi_square_like(self):
+        """Sample proportions track true proportions within tolerance."""
+        rng = np.random.default_rng(11)
+        z = rng.choice(3, size=50_000, p=[0.6, 0.3, 0.1])
+        x = np.zeros_like(z)
+        sampler = ArraySampler(z, x, 3, 1, np.random.default_rng(5))
+        counts = sampler.sample_uniform(10_000).sum(axis=1)
+        np.testing.assert_allclose(counts / 10_000, [0.6, 0.3, 0.1], atol=0.02)
+
+
+class TestSampleUntil:
+    def test_meets_budgets(self):
+        sampler, _, _ = make_sampler()
+        needed = np.array([100.0, 0.0, 50.0, 0.0, 0.0])
+        fresh = sampler.sample_until(needed)
+        rows = fresh.sum(axis=1)
+        assert rows[0] >= 100
+        assert rows[2] >= 50
+
+    def test_infinite_budget_consumes_candidate(self):
+        sampler, z, _ = make_sampler(n=2000)
+        needed = np.full(5, 0.0)
+        needed[1] = np.inf
+        fresh = sampler.sample_until(needed)
+        assert fresh[1].sum() == np.bincount(z, minlength=5)[1]
+        assert sampler.fully_scanned
+
+    def test_zero_budget_reads_nothing(self):
+        sampler, _, _ = make_sampler()
+        fresh = sampler.sample_until(np.zeros(5))
+        assert fresh.sum() == 0
+        assert not sampler.fully_scanned
+
+    def test_budget_capped_by_remaining_rows(self):
+        """Asking for more than a candidate has must terminate, not loop."""
+        rng = np.random.default_rng(2)
+        z = np.concatenate([np.zeros(50, dtype=int), np.ones(950, dtype=int)])
+        x = np.zeros(1000, dtype=int)
+        sampler = ArraySampler(z, x, 2, 1, rng)
+        fresh = sampler.sample_until(np.array([1e9, 0.0]))
+        assert fresh[0].sum() == 50
+
+    def test_shape_validation(self):
+        sampler, _, _ = make_sampler()
+        with pytest.raises(ValueError):
+            sampler.sample_until(np.zeros(4))
+
+    def test_delivered_rows_tracks_everything(self):
+        sampler, _, _ = make_sampler(n=5000)
+        sampler.sample_uniform(1000)
+        sampler.sample_until(np.array([200.0, 0, 0, 0, 0]))
+        delivered = sampler.delivered_rows()
+        assert delivered.sum() >= 1200
+
+
+class TestValidation:
+    def test_rejects_bad_codes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ArraySampler(np.array([0, 5]), np.array([0, 0]), 2, 2, rng)
+        with pytest.raises(ValueError):
+            ArraySampler(np.array([0, 1]), np.array([0, 7]), 2, 2, rng)
+        with pytest.raises(ValueError):
+            ArraySampler(np.array([0, 1]), np.array([0]), 2, 2, rng)
+        with pytest.raises(ValueError):
+            ArraySampler(np.array([0]), np.array([0]), 2, 2, rng, batch_size=0)

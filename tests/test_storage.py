@@ -1,0 +1,302 @@
+"""Tests for the storage substrate: schema, table, blocks, shuffle, I/O, costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    BinnedAttribute,
+    BlockLayout,
+    CategoricalAttribute,
+    ColumnTable,
+    CostModel,
+    IOManager,
+    Schema,
+    shuffle_table,
+)
+
+
+class TestCategoricalAttribute:
+    def test_encode_decode_roundtrip(self):
+        attr = CategoricalAttribute("country", ("greece", "italy", "france"))
+        codes = attr.encode(["italy", "greece", "france", "italy"])
+        np.testing.assert_array_equal(codes, [1, 0, 2, 1])
+        assert attr.decode(codes) == ["italy", "greece", "france", "italy"]
+
+    def test_unknown_value(self):
+        attr = CategoricalAttribute("c", ("a",))
+        with pytest.raises(ValueError):
+            attr.encode(["b"])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalAttribute("c", ("a", "a"))
+
+    def test_decode_range_check(self):
+        attr = CategoricalAttribute("c", ("a", "b"))
+        with pytest.raises(ValueError):
+            attr.decode(np.array([2]))
+
+
+class TestBinnedAttribute:
+    def test_encoding_places_values_in_bins(self):
+        attr = BinnedAttribute("hour", tuple(range(0, 25)))  # 24 bins
+        assert attr.cardinality == 24
+        codes = attr.encode(np.array([0.0, 0.5, 1.0, 23.99, 24.0]))
+        np.testing.assert_array_equal(codes, [0, 0, 1, 23, 23])
+
+    def test_out_of_range_raises(self):
+        attr = BinnedAttribute("x", (0.0, 1.0))
+        with pytest.raises(ValueError):
+            attr.encode(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            attr.encode(np.array([1.5]))
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            BinnedAttribute("x", (0.0, 0.0, 1.0))
+
+    def test_labels(self):
+        attr = BinnedAttribute("x", (0.0, 0.5, 1.0))
+        assert attr.values == ("[0, 0.5)", "[0.5, 1)")
+
+
+class TestSchema:
+    def test_lookup(self):
+        a = CategoricalAttribute("z", ("p", "q"))
+        schema = Schema((a,))
+        assert schema["z"] is a
+        assert "z" in schema and "w" not in schema
+        assert schema.cardinality("z") == 2
+        with pytest.raises(KeyError):
+            schema["w"]
+
+    def test_duplicate_names_rejected(self):
+        a = CategoricalAttribute("z", ("p",))
+        b = CategoricalAttribute("z", ("q",))
+        with pytest.raises(ValueError):
+            Schema((a, b))
+
+
+def small_table(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        (
+            CategoricalAttribute("z", tuple(f"z{i}" for i in range(7))),
+            CategoricalAttribute("x", tuple(f"x{i}" for i in range(4))),
+        )
+    )
+    cols = {
+        "z": rng.integers(0, 7, size=n),
+        "x": rng.integers(0, 4, size=n),
+    }
+    return ColumnTable(schema, cols)
+
+
+class TestColumnTable:
+    def test_num_rows_and_columns(self):
+        t = small_table(123)
+        assert len(t) == 123
+        assert t.column("z").shape == (123,)
+
+    def test_column_is_readonly(self):
+        t = small_table()
+        with pytest.raises(ValueError):
+            t.column("z")[0] = 3
+
+    def test_validates_codes(self):
+        schema = Schema((CategoricalAttribute("z", ("a", "b")),))
+        with pytest.raises(ValueError):
+            ColumnTable(schema, {"z": np.array([0, 2])})
+
+    def test_validates_schema_match(self):
+        schema = Schema((CategoricalAttribute("z", ("a",)),))
+        with pytest.raises(ValueError):
+            ColumnTable(schema, {"w": np.array([0])})
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema(
+            (
+                CategoricalAttribute("a", ("x",)),
+                CategoricalAttribute("b", ("y",)),
+            )
+        )
+        with pytest.raises(ValueError):
+            ColumnTable(schema, {"a": np.zeros(2, dtype=int), "b": np.zeros(3, dtype=int)})
+
+    def test_permuted_preserves_multiset(self):
+        t = small_table()
+        p = t.permuted(np.random.default_rng(1))
+        np.testing.assert_array_equal(
+            np.sort(t.column("z")), np.sort(p.column("z"))
+        )
+        # Row pairing preserved: joint (z, x) histogram identical.
+        joint = lambda tab: np.bincount(tab.column("z") * 4 + tab.column("x"), minlength=28)
+        np.testing.assert_array_equal(joint(t), joint(p))
+
+    def test_value_counts(self):
+        t = small_table()
+        np.testing.assert_array_equal(
+            t.value_counts("z"), np.bincount(t.column("z"), minlength=7)
+        )
+
+
+class TestBlockLayout:
+    def test_block_math(self):
+        layout = BlockLayout(num_rows=1000, block_size=150)
+        assert layout.num_blocks == 7
+        assert layout.block_bounds(0) == (0, 150)
+        assert layout.block_bounds(6) == (900, 1000)  # short final block
+        assert layout.block_rows(6) == 100
+        assert layout.block_of_row(899) == 5
+        assert layout.block_of_row(900) == 6
+
+    def test_rows_of_blocks(self):
+        layout = BlockLayout(num_rows=100, block_size=30)
+        rows = layout.rows_of_blocks(np.array([0, 3]))
+        np.testing.assert_array_equal(rows, list(range(30)) + list(range(90, 100)))
+
+    def test_rows_of_blocks_empty(self):
+        layout = BlockLayout(10, 3)
+        assert layout.rows_of_blocks(np.array([], dtype=int)).size == 0
+
+    def test_iter_chunks_wraps_exactly_once(self):
+        layout = BlockLayout(num_rows=100, block_size=10)  # 10 blocks
+        windows = list(layout.iter_chunks(start_block=7, chunk=4))
+        covered = []
+        for lo, hi in windows:
+            covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(10))
+        assert len(covered) == 10  # no block visited twice
+        assert windows[0] == (7, 10)
+
+    def test_iter_chunks_from_zero(self):
+        layout = BlockLayout(num_rows=95, block_size=10)
+        windows = list(layout.iter_chunks(0, 4))
+        assert windows == [(0, 4), (4, 8), (8, 10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockLayout(-1, 10)
+        with pytest.raises(ValueError):
+            BlockLayout(10, 0)
+        layout = BlockLayout(10, 3)
+        with pytest.raises(ValueError):
+            layout.block_bounds(4)
+        with pytest.raises(ValueError):
+            layout.block_of_row(10)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=80)
+    def test_iter_chunks_partition_property(self, rows, block_size, start, chunk):
+        layout = BlockLayout(rows, block_size)
+        start = start % layout.num_blocks
+        covered = []
+        for lo, hi in layout.iter_chunks(start, chunk):
+            assert lo < hi
+            covered.extend(range(lo, hi))
+        assert sorted(covered) == list(range(layout.num_blocks))
+
+
+class TestShuffledTable:
+    def test_shuffle_table(self):
+        t = small_table(500)
+        s = shuffle_table(t, block_size=64, rng=np.random.default_rng(3))
+        assert s.num_rows == 500
+        assert s.num_blocks == 8
+        assert 0 <= s.random_start_block(np.random.default_rng(4)) < 8
+
+    def test_layout_mismatch_rejected(self):
+        from repro.storage import ShuffledTable
+
+        t = small_table(500)
+        with pytest.raises(ValueError):
+            ShuffledTable(t, BlockLayout(400, 64))
+
+
+class TestCostModel:
+    def test_block_read_cost(self):
+        cm = CostModel(tuple_read_ns=10, block_overhead_ns=100)
+        assert cm.block_read_cost(50) == pytest.approx(100 + 500)
+        assert cm.block_read_cost(np.array([50, 30])) == pytest.approx(200 + 800)
+
+    def test_scan_cost(self):
+        cm = CostModel(tuple_read_ns=20, block_overhead_ns=0)
+        assert cm.scan_cost(1_000_000, 100) == pytest.approx(20_000_000)
+
+    def test_residency_threshold(self):
+        cm = CostModel(l3_bytes=8 * 1024 * 1024, l3_residency_fraction=0.25)
+        # 2 MiB effective: 347 candidates x 40_000 blocks = 1.7 MB -> resident
+        assert cm.bitmaps_resident(347, 40_000)
+        # 7641 candidates x 40_000 blocks = 38 MB -> not resident
+        assert not cm.bitmaps_resident(7641, 40_000)
+
+    def test_probe_cost_depends_on_residency(self):
+        cm = CostModel(cacheline_dram_ns=100, cacheline_l3_ns=10)
+        assert cm.probe_cost(5, resident=True) == pytest.approx(50)
+        assert cm.probe_cost(5, resident=False) == pytest.approx(500)
+
+    def test_lookahead_mark_cost_amortizes(self):
+        cm = CostModel(cacheline_dram_ns=100, cacheline_l3_ns=10, bit_scan_ns=0.0)
+        # 1024 blocks = 2 cache lines per candidate.
+        batch = cm.lookahead_mark_cost(10, 1024, resident=False)
+        assert batch == pytest.approx(10 * 2 * 100)
+        # Per-block cost is far below one probe per block.
+        assert batch / 1024 < cm.probe_cost(10, resident=False)
+
+    def test_zero_active_is_free(self):
+        cm = CostModel()
+        assert cm.lookahead_mark_cost(0, 1024, True) == 0.0
+        assert cm.lookahead_mark_cost(10, 0, True) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(tuple_read_ns=-1)
+        with pytest.raises(ValueError):
+            CostModel(l3_bytes=0)
+        with pytest.raises(ValueError):
+            CostModel(l3_residency_fraction=0.0)
+
+
+class TestIOManager:
+    def test_read_blocks_gathers_rows(self):
+        t = small_table(300)
+        s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
+        io = IOManager(s, CostModel())
+        read = io.read_blocks(np.array([1, 3]), ("z", "x"))
+        assert read.rows_read == 100
+        assert read.blocks_read == 2
+        np.testing.assert_array_equal(
+            read.columns["z"], s.table.column("z")[np.r_[50:100, 150:200]]
+        )
+        assert read.cost_ns > 0
+        assert io.total_rows_read == 100
+
+    def test_short_final_block(self):
+        t = small_table(120)
+        s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
+        io = IOManager(s, CostModel())
+        read = io.read_blocks(np.array([2]), ("z",))
+        assert read.rows_read == 20
+
+    def test_requires_sorted_unique(self):
+        t = small_table(300)
+        s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
+        io = IOManager(s, CostModel())
+        with pytest.raises(ValueError):
+            io.read_blocks(np.array([3, 1]), ("z",))
+        with pytest.raises(ValueError):
+            io.read_blocks(np.array([1, 1]), ("z",))
+
+    def test_empty_request(self):
+        t = small_table(300)
+        s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
+        io = IOManager(s, CostModel())
+        read = io.read_blocks(np.array([], dtype=int), ("z",))
+        assert read.rows_read == 0 and read.cost_ns == 0.0

@@ -1,0 +1,191 @@
+"""Integration tests: all four approaches end-to-end on synthetic worlds."""
+
+import numpy as np
+import pytest
+
+from repro.core import HistSimConfig, true_top_k
+from repro.core.target import TargetSpec
+from repro.query import Equals, HistogramQuery
+from repro.storage import CategoricalAttribute, ColumnTable, CostModel, Schema
+from repro.system import APPROACHES, PreparedQuery, SimulatedClock, StatsEngine, run_approach
+
+
+def build_table(n, candidates, groups, seed, near_target=3, tilt=0.6):
+    """Candidates 0..near_target-1 are close to uniform, the rest far."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.multinomial(n, np.full(candidates, 1.0 / candidates))
+    z_parts, x_parts = [], []
+    for i, size in enumerate(sizes):
+        base = np.full(groups, 1.0 / groups)
+        if i >= near_target:
+            base[i % groups] += tilt
+            base /= base.sum()
+        z_parts.append(np.full(size, i, dtype=np.int64))
+        x_parts.append(rng.choice(groups, size=size, p=base))
+    schema = Schema(
+        (
+            CategoricalAttribute("z", tuple(f"z{i}" for i in range(candidates))),
+            CategoricalAttribute("x", tuple(f"x{i}" for i in range(groups))),
+        )
+    )
+    return ColumnTable(
+        schema, {"z": np.concatenate(z_parts), "x": np.concatenate(x_parts)}
+    )
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    table = build_table(n=400_000, candidates=24, groups=6, seed=0)
+    query = HistogramQuery(
+        "z", "x", target=TargetSpec(kind="closest_to_uniform"), k=3, name="synthetic-q1"
+    )
+    return PreparedQuery.prepare(table, query, np.random.default_rng(1), block_size=150)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return HistSimConfig(
+        k=3, epsilon=0.15, delta=0.05, sigma=0.0, stage1_samples=20_000
+    )
+
+
+class TestSimulatedClock:
+    def test_serial_accumulates(self):
+        clock = SimulatedClock()
+        clock.charge_serial(io=100.0, stats=50.0)
+        assert clock.elapsed_ns == 150.0
+        assert clock.breakdown["io"] == 100.0
+
+    def test_pipelined_takes_max(self):
+        clock = SimulatedClock()
+        clock.charge_pipelined(io_ns=100.0, mark_ns=30.0)
+        assert clock.elapsed_ns == 100.0
+        assert clock.breakdown["overlap_hidden"] == 30.0
+
+    def test_negative_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.charge_serial(io=-1.0)
+        with pytest.raises(ValueError):
+            clock.charge_pipelined(io_ns=-1.0, mark_ns=0.0)
+
+    def test_seconds_conversion(self):
+        clock = SimulatedClock()
+        clock.charge_serial(io=2e9)
+        assert clock.elapsed_seconds == pytest.approx(2.0)
+
+
+class TestStatsEngine:
+    def test_charges_clock(self):
+        clock = SimulatedClock()
+        se = StatsEngine(CostModel(stats_op_ns=2.0), clock)
+        se("stage1", 100)
+        se("stage2", 50)
+        assert clock.breakdown["stats"] == pytest.approx(300.0)
+        assert se.total_ops == 150
+
+
+class TestScanBaseline:
+    def test_scan_is_exact(self, prepared, config):
+        report = run_approach(prepared, "scan", config, seed=0)
+        truth = true_top_k(prepared.exact_counts, prepared.target, config.k, config.sigma)
+        assert set(report.result.matching) == set(int(i) for i in truth)
+        assert report.result.exact
+        assert report.audit.ok
+        assert report.audit.delta_d == pytest.approx(0.0)
+
+    def test_scan_cost_covers_all_blocks(self, prepared, config):
+        report = run_approach(prepared, "scan", config, seed=0)
+        assert report.counters["blocks_read"] == prepared.shuffled.num_blocks
+
+
+class TestApproachesEndToEnd:
+    @pytest.mark.parametrize("approach", ["scanmatch", "syncmatch", "fastmatch"])
+    def test_guarantees_hold(self, prepared, config, approach):
+        report = run_approach(prepared, approach, config, seed=11)
+        assert report.audit is not None
+        assert report.audit.ok, f"{approach} violated guarantees: {report.audit}"
+
+    @pytest.mark.parametrize("approach", ["scanmatch", "syncmatch", "fastmatch"])
+    def test_faster_than_scan(self, prepared, config, approach):
+        scan = run_approach(prepared, "scan", config, seed=11)
+        approx = run_approach(prepared, approach, config, seed=11)
+        assert approx.speedup_over(scan) > 1.0
+
+    def test_fastmatch_reads_fewer_rows_than_scan(self, prepared, config):
+        report = run_approach(prepared, "fastmatch", config, seed=3)
+        assert report.counters["rows_delivered"] < prepared.shuffled.num_rows
+
+    def test_fastmatch_hides_marking_cost(self, prepared, config):
+        report = run_approach(prepared, "fastmatch", config, seed=3)
+        assert report.breakdown.get("overlap_hidden", 0) > 0
+
+    def test_syncmatch_serializes_marking(self, prepared, config):
+        report = run_approach(prepared, "syncmatch", config, seed=3)
+        assert report.breakdown.get("overlap_hidden", 0) == 0
+        assert report.breakdown.get("mark", 0) > 0
+
+    def test_deterministic_given_seed(self, prepared, config):
+        a = run_approach(prepared, "fastmatch", config, seed=42)
+        b = run_approach(prepared, "fastmatch", config, seed=42)
+        assert a.result.matching == b.result.matching
+        assert a.elapsed_ns == b.elapsed_ns
+
+    def test_unknown_approach_rejected(self, prepared, config):
+        with pytest.raises(ValueError):
+            run_approach(prepared, "oracle", config)
+
+    def test_all_approaches_registered(self):
+        assert APPROACHES == ("scan", "scanmatch", "syncmatch", "fastmatch")
+
+
+class TestPredicateQueries:
+    def test_predicate_changes_ground_truth(self):
+        table = build_table(n=150_000, candidates=10, groups=4, seed=5)
+        base = HistogramQuery("z", "x", k=2, name="all")
+        filtered = HistogramQuery(
+            "z", "x", k=2, predicate=Equals("x", 0) | Equals("x", 1), name="filtered"
+        )
+        rng = np.random.default_rng(6)
+        p_base = PreparedQuery.prepare(table, base, rng)
+        p_filtered = PreparedQuery.prepare(table, filtered, rng)
+        assert p_filtered.exact_counts.sum() < p_base.exact_counts.sum()
+        assert p_filtered.exact_counts[:, 2:].sum() == 0
+
+    def test_approaches_respect_predicate(self):
+        table = build_table(n=150_000, candidates=10, groups=4, seed=5)
+        query = HistogramQuery(
+            "z", "x", k=2, predicate=Equals("x", 0) | Equals("x", 1), name="filtered"
+        )
+        prepared = PreparedQuery.prepare(table, query, np.random.default_rng(6))
+        config = HistSimConfig(k=2, epsilon=0.2, delta=0.05, sigma=0.0)
+        for approach in ("scan", "fastmatch"):
+            report = run_approach(prepared, approach, config, seed=2)
+            # Delivered histograms only contain surviving groups.
+            assert report.result.histograms[:, 2:].sum() == 0
+            assert report.audit.ok
+
+
+class TestSelectivityPruning:
+    def test_rare_candidates_pruned_and_audited(self):
+        rng = np.random.default_rng(9)
+        # 9 common candidates plus one ultra-rare.
+        z = rng.integers(0, 9, size=200_000)
+        z[:30] = 9
+        x = rng.integers(0, 4, size=200_000)
+        schema = Schema(
+            (
+                CategoricalAttribute("z", tuple(f"z{i}" for i in range(10))),
+                CategoricalAttribute("x", tuple(f"x{i}" for i in range(4))),
+            )
+        )
+        table = ColumnTable(schema, {"z": z, "x": x})
+        query = HistogramQuery("z", "x", k=3, name="rare")
+        prepared = PreparedQuery.prepare(table, query, rng)
+        config = HistSimConfig(
+            k=3, epsilon=0.15, delta=0.05, sigma=0.001,
+            stage1_samples=50_000, stage1_max_fraction=0.5,
+        )
+        report = run_approach(prepared, "fastmatch", config, seed=4)
+        assert 9 in report.result.pruned
+        assert report.audit.ok

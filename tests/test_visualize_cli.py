@@ -1,0 +1,126 @@
+"""Tests for ASCII visualization rendering and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.result import MatchResult, StageStats
+from repro.system.visualize import render_comparison, render_histogram, render_result
+
+
+class TestRenderHistogram:
+    def test_contains_bars_and_shares(self):
+        out = render_histogram(np.array([10, 30, 60]), title="demo")
+        assert "demo" in out
+        lines = out.splitlines()[1:]
+        assert len(lines) == 3
+        assert "60.0%" in lines[2]
+        # The largest bucket gets the longest bar.
+        assert lines[2].count("█") > lines[0].count("█")
+
+    def test_custom_labels(self):
+        out = render_histogram(np.array([1, 1]), labels=["mon", "tue"])
+        assert "mon" in out and "tue" in out
+
+    def test_zero_histogram_renders(self):
+        out = render_histogram(np.zeros(3))
+        assert out.count("|") == 6  # bars empty but aligned
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            render_histogram(np.ones(3), labels=["a"])
+        with pytest.raises(ValueError):
+            render_histogram(np.ones(3), width=2)
+
+
+class TestRenderComparison:
+    def test_shows_distance_and_names(self):
+        out = render_comparison(
+            np.array([1.0, 1.0]), np.array([1.0, 3.0]),
+            target_name="greece", candidate_name="italy",
+        )
+        assert "greece" in out and "italy" in out
+        assert "0.500" in out  # L1 distance of these two
+
+    def test_identical_histograms_zero_distance(self):
+        h = np.array([2.0, 5.0, 3.0])
+        out = render_comparison(h, 10 * h)
+        assert "0.000" in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_comparison(np.ones(2), np.ones(3))
+
+
+class TestRenderResult:
+    def make_result(self):
+        return MatchResult(
+            matching=(4, 7, 2),
+            histograms=np.array([[5, 5], [8, 2], [1, 9]]),
+            distances=np.array([0.0, 0.6, 0.8]),
+            pruned=(),
+            exact=False,
+            stats=StageStats(),
+        )
+
+    def test_panels_ordered_closest_first(self):
+        out = render_result(self.make_result(), np.array([1.0, 1.0]), max_candidates=2)
+        assert "#1 candidate 4" in out
+        assert "#2 candidate 7" in out
+        assert "candidate 2" not in out  # truncated at max_candidates
+
+    def test_custom_labels(self):
+        labels = [f"P{i}" for i in range(10)]
+        out = render_result(
+            self.make_result(), np.array([1.0, 1.0]),
+            candidate_labels=labels, max_candidates=1,
+        )
+        assert "#1 P4" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_result(self.make_result(), np.ones(2), max_candidates=0)
+
+
+class TestCli:
+    def test_list_queries(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "flights-q1" in out and "police-q3" in out
+
+    def test_query_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--query", "flights-q1"])
+        assert args.approach == "fastmatch"
+        assert args.epsilon == 0.1
+
+    def test_end_to_end_run(self, capsys):
+        code = main([
+            "--query", "police-q1",
+            "--rows", "200000",
+            "--epsilon", "0.2",
+            "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guarantees" in out
+        assert "separation=OK" in out
+        assert "matches" in out
+        assert "█" in out  # rendered panels
+
+    def test_scan_approach_and_no_render(self, capsys):
+        code = main([
+            "--query", "police-q1",
+            "--approach", "scan",
+            "--rows", "200000",
+            "--no-render",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1.00x vs scan" in out
+        assert "█" not in out

@@ -1,0 +1,65 @@
+"""Cross-module integration: every Table 3 workload, end to end, small scale.
+
+Runs the full pipeline (dataset build -> shuffle/layout -> bitmap index ->
+target resolution -> FastMatch -> guarantee audit) for all nine queries at
+reduced row counts, checking invariants that must hold at any scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HistSimConfig, true_top_k
+from repro.data import QUERY_NAMES, prepare_workload
+from repro.system import run_approach
+
+ROWS = {"flights": 120_000, "taxi": 400_000, "police": 150_000}
+
+
+def rows_for(query_name: str) -> int:
+    return ROWS[query_name.split("-")[0]]
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+class TestEveryWorkload:
+    def test_fastmatch_guarantees_and_accounting(self, query_name):
+        prepared = prepare_workload(query_name, rows=rows_for(query_name), seed=7)
+        config = HistSimConfig(
+            k=prepared.query.k, epsilon=0.2, delta=0.05, sigma=0.0008,
+            stage1_samples=20_000,
+        )
+        report = run_approach(prepared, "fastmatch", config, seed=5)
+
+        # Guarantees hold against exact ground truth.
+        assert report.audit is not None and report.audit.ok, report.audit
+
+        # Output size: k, unless fewer candidates survive pruning.
+        assert 0 < report.result.k <= config.k
+
+        # Accounting invariants.
+        counters = report.counters
+        assert counters["rows_delivered"] <= prepared.shuffled.num_rows
+        assert counters["blocks_read"] <= prepared.shuffled.num_blocks
+        assert report.elapsed_ns > 0
+        assert abs(
+            sum(v for k, v in report.breakdown.items() if k != "overlap_hidden")
+            - report.breakdown.get("overlap_hidden", 0.0)
+            - report.elapsed_ns
+        ) < 1e3  # serial components + max-of-pipelined == elapsed
+
+        # Matching candidates were never pruned.
+        assert not (set(report.result.matching) & set(report.result.pruned))
+
+        # Estimated distances are sorted and within [0, 2].
+        d = report.result.distances
+        assert np.all(np.diff(d) >= -1e-12)
+        assert np.all((d >= 0) & (d <= 2.0))
+
+    def test_scan_matches_true_top_k(self, query_name):
+        prepared = prepare_workload(query_name, rows=rows_for(query_name), seed=7)
+        config = HistSimConfig(k=prepared.query.k, epsilon=0.2, delta=0.05, sigma=0.0008)
+        report = run_approach(prepared, "scan", config, seed=5)
+        expected = true_top_k(
+            prepared.exact_counts, prepared.target, config.k, config.sigma
+        )
+        assert set(report.result.matching) == set(int(i) for i in expected)
+        assert report.audit.delta_d == pytest.approx(0.0)
