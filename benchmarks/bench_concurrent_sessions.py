@@ -1,0 +1,141 @@
+"""Concurrent-session throughput — the MatchSession serving layer.
+
+Not a paper figure: this benchmark exercises the multi-query architecture
+layered on the reproduction (resumable HistSim stepper + round-robin
+scheduler + shared prepared-artifact cache).  It sweeps the number of
+concurrent queries interleaved through one MatchSession over the FLIGHTS
+dataset and reports aggregate throughput, per-query latency, and cache
+reuse.
+
+Checks:
+
+- at >= 8 concurrent queries the session reports prepared-artifact cache
+  hits (shuffle/index/ground-truth shared across queries);
+- every interleaved query's MatchResult is identical to a standalone
+  ``run_approach`` execution with the same prepared query, config, and
+  seed — interleaving changes only when work happens, never what is
+  sampled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import BENCH_ROWS, BENCH_SEED, config_for, format_table, save_report
+from repro.data import load_dataset, workload_query
+from repro.system import MatchSession, run_approach
+
+#: Queries cycled to fill each concurrency level (all on FLIGHTS, so one
+#: session serves them; q1/q2 share a template, q3/q4 add new groupings).
+FLIGHTS_QUERIES = ("flights-q1", "flights-q2", "flights-q3", "flights-q4")
+
+CONCURRENCY_GRID = (1, 2, 4, 8, 16)
+
+#: Concurrency level at which per-query results are checked against
+#: standalone runs (once — the property is independent of n).
+VERIFY_AT = 8
+
+
+def _submit_mix(session: MatchSession, n: int) -> list:
+    """Submit ``n`` queries cycling through the flights workload mix."""
+    submitted = []
+    for i in range(n):
+        query_name = FLIGHTS_QUERIES[i % len(FLIGHTS_QUERIES)]
+        _, query = workload_query(query_name)
+        config = config_for(query.k)
+        session.submit(
+            query,
+            approach="fastmatch",
+            config=config,
+            seed=BENCH_SEED,
+            name=f"{query_name}#{i}",
+        )
+        submitted.append((query, config))
+    return submitted
+
+
+def _run_concurrency_sweep() -> dict:
+    dataset = load_dataset("flights", rows=BENCH_ROWS, seed=BENCH_SEED)
+    results = {}
+    for n in CONCURRENCY_GRID:
+        session = MatchSession(dataset.table)
+        submitted = _submit_mix(session, n)
+        run = session.run()
+        assert len(run) == n
+
+        if n == VERIFY_AT:
+            for outcome, (query, config) in zip(run, submitted):
+                prepared = session.prepared(query, seed=BENCH_SEED)
+                standalone = run_approach(
+                    prepared, "fastmatch", config, seed=BENCH_SEED, audit=False
+                )
+                assert outcome.report.result.matching == standalone.result.matching, (
+                    f"{outcome.name}: interleaved matching differs from standalone"
+                )
+                assert np.array_equal(
+                    outcome.report.result.histograms, standalone.result.histograms
+                ), f"{outcome.name}: interleaved histograms differ from standalone"
+                assert outcome.report.result.stats == standalone.result.stats, (
+                    f"{outcome.name}: interleaved sampling effort differs"
+                )
+
+        results[n] = {
+            "throughput_qps": run.throughput_qps,
+            "elapsed_s": run.elapsed_seconds,
+            "mean_latency_s": run.mean_latency_seconds,
+            "mean_service_s": float(
+                np.mean([o.service_seconds for o in run])
+            ),
+            "cache_hits": session.cache_hits,
+            "cache": session.cache_stats.summary(),
+            "audits_ok": all(
+                o.report.audit is not None and o.report.audit.ok for o in run
+            ),
+        }
+    return results
+
+
+def _report(results: dict) -> str:
+    headers = ["n", "throughput q/s", "mean latency s", "mean service s",
+               "cache hits", "audits"]
+    rows = [
+        [
+            n,
+            f"{r['throughput_qps']:.1f}",
+            f"{r['mean_latency_s']:.4f}",
+            f"{r['mean_service_s']:.4f}",
+            r["cache_hits"],
+            "OK" if r["audits_ok"] else "VIOLATED",
+        ]
+        for n, r in results.items()
+    ]
+    return format_table(
+        "Concurrent sessions — throughput vs interleaved queries (FLIGHTS mix)",
+        headers,
+        rows,
+    )
+
+
+def _check(results: dict) -> None:
+    # The serving layer must actually share artifacts once queries overlap...
+    for n, r in results.items():
+        if n >= 2:
+            assert r["cache_hits"] > 0, f"n={n}: expected prepared-artifact reuse"
+    # ...and interleaving must not break the statistical machinery.
+    assert all(r["audits_ok"] for r in results.values())
+    assert max(results) >= 8, "sweep must cover >= 8 interleaved queries"
+
+
+def bench_concurrent_sessions(benchmark):
+    results = benchmark.pedantic(_run_concurrency_sweep, rounds=1, iterations=1)
+    save_report("concurrent_sessions", _report(results))
+    benchmark.extra_info["concurrency"] = {
+        n: r["throughput_qps"] for n, r in results.items()
+    }
+    _check(results)
+
+
+if __name__ == "__main__":
+    sweep = _run_concurrency_sweep()
+    save_report("concurrent_sessions", _report(sweep))
+    _check(sweep)

@@ -16,7 +16,8 @@ Subpackages:
 __version__ = "1.0.0"
 
 from . import bitmap, core, data, extensions, query, sampling, storage, system
-from .match import match_histograms
+from .match import match_histograms, match_many
+from .system.session import MatchSession
 
 __all__ = [
     "bitmap",
@@ -28,5 +29,7 @@ __all__ = [
     "storage",
     "system",
     "match_histograms",
+    "match_many",
+    "MatchSession",
     "__version__",
 ]

@@ -1,10 +1,18 @@
-"""Command-line interface: run a Table 3 workload query end to end.
+"""Command-line interface: run Table 3 workload queries end to end.
+
+Single query (prints the run report and ASCII visualizations):
 
     python -m repro --query flights-q1 --approach fastmatch --rows 1000000
     python -m repro --list
 
-Prints the run report (simulated latency, speedup over Scan, guarantee
-audit) and renders the best matches as ASCII visualizations.
+Multi-query serving (one MatchSession per dataset; prepared artifacts are
+shared across queries and execution is interleaved on one simulated clock):
+
+    python -m repro batch --queries flights-q1 flights-q3 flights-q4
+    python -m repro serve --queries taxi-q1 taxi-q2 --repeat 4 --rows 500000
+
+Prints per-query latency/service time, aggregate throughput, and the
+artifact-cache hit profile.
 """
 
 from __future__ import annotations
@@ -13,11 +21,44 @@ import argparse
 import sys
 
 from .core.config import HistSimConfig
-from .data import QUERY_NAMES, prepare_workload
-from .system import APPROACHES, run_approach
+from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
+from .system import APPROACHES, MatchSession, run_approach
 from .system.visualize import render_result
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_batch_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--queries", nargs="+", choices=QUERY_NAMES, required=True,
+        help="Table 3 queries to serve concurrently",
+    )
+    # Flags the top-level parser also accepts use SUPPRESS so a value given
+    # before the subcommand (``repro --rows 5000 batch ...``) is not
+    # overwritten by a subparser default; the top-level defaults apply.
+    sub.add_argument(
+        "--approach", choices=APPROACHES, default=argparse.SUPPRESS,
+        help="execution approach for every query (default: fastmatch)",
+    )
+    sub.add_argument("--rows", type=int, default=argparse.SUPPRESS,
+                     help="dataset rows (default 1,000,000)")
+    sub.add_argument("--repeat", type=_positive_int, default=1,
+                     help="submit each query this many times (shows cache reuse)")
+    sub.add_argument("--epsilon", type=float, default=argparse.SUPPRESS)
+    sub.add_argument("--delta", type=float, default=argparse.SUPPRESS)
+    sub.add_argument("--sigma", type=float, default=argparse.SUPPRESS)
+    sub.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    sub.add_argument(
+        "--max-step-rows", type=_positive_int, default=None,
+        help="bound rows sampled per scheduler step (finer interleaving)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,18 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--no-render", action="store_true",
                         help="skip the ASCII visualization panels")
+
+    subparsers = parser.add_subparsers(dest="command")
+    batch = subparsers.add_parser(
+        "batch", aliases=["serve"],
+        help="serve several queries through shared MatchSessions",
+        description="Interleave several workload queries per dataset through "
+                    "one MatchSession each, reporting per-query latency, "
+                    "aggregate throughput, and artifact-cache reuse.",
+    )
+    _add_batch_arguments(batch)
+    batch.set_defaults(command="batch")
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-
-    if args.list:
-        print("available queries:")
-        for name in QUERY_NAMES:
-            print(f"  {name}")
-        return 0
+def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if not args.query:
         parser.error("--query is required (or use --list)")
 
@@ -103,6 +147,81 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    # One MatchSession per dataset: a session owns one table, so queries are
+    # grouped by the dataset they run against.
+    by_dataset: dict[str, list[str]] = {}
+    for query_name in args.queries:
+        dataset_name, _ = workload_query(query_name)
+        by_dataset.setdefault(dataset_name, []).append(query_name)
+
+    total_queries = 0
+    total_elapsed = 0.0
+    for dataset_name, query_names in by_dataset.items():
+        dataset = load_dataset(dataset_name, rows=args.rows, seed=args.seed)
+        session = MatchSession(dataset.table)
+        for query_name in query_names:
+            _, query = workload_query(query_name)
+            k = args.k if args.k is not None else query.k
+            config = HistSimConfig(
+                k=k, epsilon=args.epsilon, delta=args.delta,
+                sigma=args.sigma,
+                stage1_samples=min(50_000, max(1, args.rows // 20)),
+            )
+            # Repeats share one seed so they hit the prepared-artifact cache
+            # (one shuffle/index for the whole batch) — the point of --repeat.
+            for repeat in range(args.repeat):
+                session.submit(
+                    query,
+                    approach=args.approach,
+                    config=config,
+                    seed=args.seed,
+                    max_step_rows=args.max_step_rows,
+                    name=f"{query_name}" + (f"#{repeat}" if args.repeat > 1 else ""),
+                )
+        run = session.run()
+
+        print(f"dataset    : {dataset_name}  ({dataset.table.num_rows:,} rows, "
+              f"{len(run)} queries, approach={args.approach})")
+        for outcome in run:
+            audit = outcome.report.audit
+            guarantees = (
+                "OK" if audit is not None and audit.ok else
+                ("VIOLATED" if audit is not None else "n/a")
+            )
+            print(f"  {outcome.name:<14} latency={outcome.latency_seconds * 1e3:8.2f} ms  "
+                  f"service={outcome.service_seconds * 1e3:7.2f} ms  "
+                  f"steps={outcome.steps:<3d} "
+                  f"samples={outcome.report.result.stats.total_samples:>9,}  "
+                  f"guarantees={guarantees}")
+        print(f"  throughput : {run.throughput_qps:,.1f} queries/simulated-second "
+              f"({run.elapsed_seconds * 1e3:.2f} ms total)")
+        print(f"  cache      : {session.cache_stats.summary()} "
+              f"({session.cache_hits} hits)")
+        total_queries += len(run)
+        total_elapsed += run.elapsed_seconds
+
+    if len(by_dataset) > 1 and total_elapsed > 0:
+        print(f"overall    : {total_queries} queries, "
+              f"{total_queries / total_elapsed:,.1f} queries/simulated-second")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if getattr(args, "command", None) == "batch":
+        return _run_batch(args)
+
+    if args.list:
+        print("available queries:")
+        for name in QUERY_NAMES:
+            print(f"  {name}")
+        return 0
+    return _run_single(args, parser)
 
 
 if __name__ == "__main__":

@@ -28,7 +28,14 @@ from .distance import (
     total_variation,
 )
 from .guarantees import GuaranteeAudit, audit_result, delta_d, true_top_k
-from .histsim import HistSim, run_histsim, select_matching, split_point
+from .histsim import (
+    HistSim,
+    HistSimStepper,
+    StepReport,
+    run_histsim,
+    select_matching,
+    split_point,
+)
 from .hypergeometric import (
     rare_threshold,
     underrepresentation_pvalue,
@@ -49,6 +56,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "HistSimConfig",
     "HistSim",
+    "HistSimStepper",
+    "StepReport",
     "run_histsim",
     "select_matching",
     "split_point",

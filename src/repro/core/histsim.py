@@ -17,11 +17,23 @@ Finite-data handling (DESIGN.md §5): a candidate whose rows are exhausted has
 an exact histogram; the split-point construction makes its round null
 provably false, so its P-value is 0.  If the sampler exhausts the whole
 dataset the run short-circuits to exact results.
+
+Execution model
+---------------
+The algorithm is a **resumable state machine**: :class:`HistSimStepper`
+advances through explicit :class:`Stage1` → :class:`Stage2Round` →
+:class:`Stage3` → :class:`Done` states, each :meth:`HistSimStepper.step`
+performing one bounded unit of sampling + testing (the prune pass, one
+stage-2 round, one stage-3 reconstruction batch).  :meth:`HistSim.run` is a
+thin driver that steps the machine to completion, so one-shot callers are
+unaffected while services (:mod:`repro.system.session`) can interleave many
+queries' steps on a shared clock.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
@@ -37,7 +49,19 @@ from .result import MatchResult, RoundTrace, StageStats
 from .sampler import TupleSampler
 from .state import CandidateState
 
-__all__ = ["HistSim", "run_histsim", "select_matching", "split_point"]
+__all__ = [
+    "HistSim",
+    "HistSimStepper",
+    "StepReport",
+    "RoundPlan",
+    "Stage1",
+    "Stage2Round",
+    "Stage3",
+    "Done",
+    "run_histsim",
+    "select_matching",
+    "split_point",
+]
 
 #: Optional hook invoked with (stage_name, num_scalar_ops) so the simulated
 #: clock can charge statistics-engine time (Section 4.3).
@@ -63,6 +87,24 @@ def split_point(distances: np.ndarray, matching: np.ndarray, others: np.ndarray)
     if matching.size == 0 or others.size == 0:
         raise ValueError("split point requires both M and A\\M to be non-empty")
     return 0.5 * (float(distances[matching].max()) + float(distances[others].min()))
+
+
+@dataclass
+class RoundPlan:
+    """Everything a stage-2 round decides before sampling (lines 14–19).
+
+    Produced by :meth:`HistSim.begin_round`; consumed by
+    :meth:`HistSim.finish_round` once the round's fresh-sample budgets have
+    been delivered (possibly across several stepper steps).
+    """
+
+    round_index: int
+    delta_upper: float
+    matching: np.ndarray
+    others: np.ndarray
+    split: float
+    exhausted: np.ndarray
+    budgets: np.ndarray
 
 
 class HistSim:
@@ -104,6 +146,23 @@ class HistSim:
         )
         self.alive = np.ones(sampler.num_candidates, dtype=bool)
         self.rounds: list[RoundTrace] = []
+        self._stage3_target_cache: tuple[tuple, int] | None = None
+
+    @property
+    def stage3_target(self) -> int:
+        """Stage-3 reconstruction sample target (line 26).
+
+        Loop-invariant within a configuration, so it is computed once and
+        cached instead of re-derived every stage-2 round; the cache keys on
+        the config parameters because extensions (range-k) swap ``config``
+        mid-run.  Subclasses with a different reconstruction tolerance
+        (dual-ε) override this property.
+        """
+        cfg = self.config
+        key = (cfg.epsilon, cfg.delta, cfg.k, self.sampler.num_groups)
+        if self._stage3_target_cache is None or self._stage3_target_cache[0] != key:
+            self._stage3_target_cache = (key, stage3_sample_target(*key))
+        return self._stage3_target_cache[1]
 
     # ------------------------------------------------------------------ stage 1
 
@@ -136,6 +195,7 @@ class HistSim:
         s: float,
         delta_upper: float,
         round_index: int,
+        exhausted: np.ndarray,
     ) -> np.ndarray:
         """Eq. 1 fresh-sample budgets ``n'_i`` for one round (heuristic, §4.2).
 
@@ -155,21 +215,21 @@ class HistSim:
         )
         if np.isfinite(cfg.round_budget_cap):
             ceiling = (
-                cfg.round_budget_cap
-                * stage3_sample_target(
-                    cfg.epsilon, cfg.delta, cfg.k, self.sampler.num_groups
-                )
-                * 2.0 ** (round_index - 1)
+                cfg.round_budget_cap * self.stage3_target * 2.0 ** (round_index - 1)
             )
             budgets[idx] = np.minimum(budgets[idx], ceiling)
         budgets[idx] = np.maximum(budgets[idx], cfg.min_round_samples)
         # Exhausted candidates cannot yield fresh rows; their test is settled
         # by exactness instead.
-        budgets[self.state.exhausted()] = 0.0
+        budgets[exhausted] = 0.0
         return budgets
 
     def _round_log_pvalues(
-        self, matching: np.ndarray, others: np.ndarray, s: float
+        self,
+        matching: np.ndarray,
+        others: np.ndarray,
+        s: float,
+        exhausted: np.ndarray,
     ) -> np.ndarray:
         """P-values (log) of the round's null hypotheses (Lemmas 2–3, Theorem 1)."""
         cfg = self.config
@@ -188,79 +248,125 @@ class HistSim:
         # places their true distance on the correct side of s, so the null is
         # certainly false (DESIGN.md §5).
         log_p = np.asarray(log_p, dtype=np.float64)
-        log_p[self.state.exhausted()] = -np.inf
+        log_p[exhausted] = -np.inf
         return log_p
 
-    def run_stage2(self) -> np.ndarray:
-        """Identify the matching set ``M``; returns matching candidate indices."""
-        cfg = self.config
+    def stage2_shortcut(self) -> np.ndarray | None:
+        """Degenerate stage 2: with ``|A| ≤ k``, A \\ M is empty and separation
+        holds vacuously (Lemma 2 degenerate) — return M without any rounds."""
         alive_count = int(self.alive.sum())
-        if alive_count <= cfg.k:
-            # A \ M is empty: separation holds vacuously (Lemma 2 degenerate).
-            tau = self.state.distances(self.target)
-            return select_matching(tau, self.alive, alive_count)
+        if alive_count > self.config.k:
+            return None
+        tau = self.state.distances(self.target)
+        return select_matching(tau, self.alive, alive_count)
 
-        delta_upper = cfg.stage_delta
-        for round_index in range(1, cfg.max_rounds + 1):
-            delta_upper /= 2.0
+    def begin_round(self, round_index: int, delta_upper: float) -> RoundPlan:
+        """Start one stage-2 round: fold, pick M and s, budget fresh samples
+        (Algorithm 1 lines 14–19).  Sampling happens between this call and
+        :meth:`finish_round`."""
+        cfg = self.config
+        self.state.fold_round_into_cumulative()
+        tau = self.state.distances(self.target)
+        matching = select_matching(tau, self.alive, cfg.k)
+        # Complement of M within the alive set via a boolean mask (cheaper
+        # than a per-round set difference).
+        others_mask = self.alive.copy()
+        others_mask[matching] = False
+        others = np.flatnonzero(others_mask)
+        s = split_point(tau, matching, others)
+        # samples[] only changes on fold, so the exhausted mask is identical
+        # at budgeting and testing time — compute it once per round.
+        exhausted = self.state.exhausted()
+        budgets = self._round_budgets(
+            tau, matching, others, s, delta_upper, round_index, exhausted
+        )
+        return RoundPlan(
+            round_index=round_index,
+            delta_upper=delta_upper,
+            matching=matching,
+            others=others,
+            split=s,
+            exhausted=exhausted,
+            budgets=budgets,
+        )
+
+    def finish_round(self, plan: RoundPlan, fresh_rows: int) -> np.ndarray | None:
+        """Run the round's union-intersection test (lines 20–24) after its
+        fresh samples were recorded.  Returns the matching set if the round
+        settled M (rejection, or exact knowledge from a full scan), else None.
+        """
+        log_p = self._round_log_pvalues(
+            plan.matching, plan.others, plan.split, plan.exhausted
+        )
+        alive_idx = np.flatnonzero(self.alive)
+        rejected = simultaneous_rejection_log(log_p[alive_idx], plan.delta_upper)
+        self._stats_cost(
+            "stage2",
+            int(self.alive.sum()) * self.sampler.num_groups
+            + int(self.alive.sum() * np.log2(max(self.alive.sum(), 2))),
+        )
+        self.rounds.append(
+            RoundTrace(
+                round_index=plan.round_index,
+                delta_upper=plan.delta_upper,
+                split_point=plan.split,
+                matching=tuple(int(i) for i in plan.matching),
+                budget_total=int(
+                    np.where(np.isfinite(plan.budgets), plan.budgets, 0).sum()
+                ),
+                fresh_samples=fresh_rows,
+                max_log_pvalue=float(np.max(log_p[alive_idx])),
+                rejected=rejected,
+            )
+        )
+        if rejected:
+            self.state.fold_round_into_cumulative()
+            return plan.matching
+        if self.sampler.fully_scanned:
+            # Exact knowledge: fold and return the exact top-k.
             self.state.fold_round_into_cumulative()
             tau = self.state.distances(self.target)
-            matching = select_matching(tau, self.alive, cfg.k)
-            others = np.setdiff1d(np.flatnonzero(self.alive), matching, assume_unique=True)
-            s = split_point(tau, matching, others)
+            return select_matching(tau, self.alive, self.config.k)
+        return None
 
-            budgets = self._round_budgets(
-                tau, matching, others, s, delta_upper, round_index
-            )
-            fresh = self.sampler.sample_until(budgets)
-            self.state.record_round_counts(fresh)
-
-            log_p = self._round_log_pvalues(matching, others, s)
-            alive_idx = np.flatnonzero(self.alive)
-            rejected = simultaneous_rejection_log(log_p[alive_idx], delta_upper)
-            self._stats_cost(
-                "stage2",
-                int(self.alive.sum()) * self.sampler.num_groups
-                + int(self.alive.sum() * np.log2(max(self.alive.sum(), 2))),
-            )
-            self.rounds.append(
-                RoundTrace(
-                    round_index=round_index,
-                    delta_upper=delta_upper,
-                    split_point=s,
-                    matching=tuple(int(i) for i in matching),
-                    budget_total=int(np.where(np.isfinite(budgets), budgets, 0).sum()),
-                    fresh_samples=int(fresh.sum()),
-                    max_log_pvalue=float(np.max(log_p[alive_idx])),
-                    rejected=rejected,
-                )
-            )
-            if rejected:
-                self.state.fold_round_into_cumulative()
-                return matching
-            if self.sampler.fully_scanned:
-                # Exact knowledge: fold and return the exact top-k.
-                self.state.fold_round_into_cumulative()
-                tau = self.state.distances(self.target)
-                return select_matching(tau, self.alive, cfg.k)
-
-        # Safety valve: exhaust the data, which is always correct.
+    def exhaust_stage2(self) -> np.ndarray:
+        """Safety valve after ``max_rounds``: exhaust the data, which is
+        always correct, and return the exact top-k."""
         self.state.fold_round_into_cumulative()
         self.sampler.sample_until(np.full(self.alive.size, np.inf))
         self.state.fold_round_into_cumulative()
         tau = self.state.distances(self.target)
-        return select_matching(tau, self.alive, cfg.k)
+        return select_matching(tau, self.alive, self.config.k)
+
+    def run_stage2(self) -> np.ndarray:
+        """Identify the matching set ``M``; returns matching candidate indices."""
+        shortcut = self.stage2_shortcut()
+        if shortcut is not None:
+            return shortcut
+        delta_upper = self.config.stage_delta
+        for round_index in range(1, self.config.max_rounds + 1):
+            delta_upper /= 2.0
+            plan = self.begin_round(round_index, delta_upper)
+            fresh = self.sampler.sample_until(plan.budgets)
+            self.state.record_round_counts(fresh)
+            matching = self.finish_round(plan, int(fresh.sum()))
+            if matching is not None:
+                return matching
+        return self.exhaust_stage2()
 
     # ------------------------------------------------------------------ stage 3
 
+    def stage3_needed(self, matching: np.ndarray) -> np.ndarray:
+        """Per-candidate fresh rows still required to hit the stage-3 target."""
+        needed = np.zeros(self.alive.size, dtype=np.float64)
+        needed[matching] = np.maximum(
+            0, self.stage3_target - self.state.samples[matching]
+        )
+        return needed
+
     def run_stage3(self, matching: np.ndarray) -> None:
         """Reconstruct every matching candidate to ε accuracy (line 26)."""
-        cfg = self.config
-        target_n = stage3_sample_target(
-            cfg.epsilon, cfg.delta, cfg.k, self.sampler.num_groups
-        )
-        needed = np.zeros(self.alive.size, dtype=np.float64)
-        needed[matching] = np.maximum(0, target_n - self.state.samples[matching])
+        needed = self.stage3_needed(matching)
         if np.any(needed > 0):
             fresh = self.sampler.sample_until(needed)
             self.state.record_round_counts(fresh)
@@ -269,25 +375,22 @@ class HistSim:
 
     # -------------------------------------------------------------------- run
 
-    def run(self) -> MatchResult:
-        """Execute all three stages and assemble the result."""
-        before_stage1 = int(self.state.samples.sum())
-        pruned_mask = self.run_stage1()
-        after_stage1 = int(self.state.samples.sum())
-
-        matching = self.run_stage2()
-        after_stage2 = int(self.state.samples.sum()) + int(self.state.round_samples.sum())
-
-        self.run_stage3(matching)
-        after_stage3 = int(self.state.samples.sum())
-
+    def _assemble_result(
+        self,
+        pruned_mask: np.ndarray,
+        matching: np.ndarray,
+        stage1_samples: int,
+        stage2_samples: int,
+        stage3_samples: int,
+    ) -> MatchResult:
+        """Sort the matching set by final distance and package the output."""
         tau = self.state.distances(self.target)
         order = np.argsort(tau[matching], kind="stable")
         matching = matching[order]
         stats = StageStats(
-            stage1_samples=after_stage1 - before_stage1,
-            stage2_samples=after_stage2 - after_stage1,
-            stage3_samples=after_stage3 - after_stage2,
+            stage1_samples=stage1_samples,
+            stage2_samples=stage2_samples,
+            stage3_samples=stage3_samples,
             pruned_candidates=int(pruned_mask.sum()),
             surviving_candidates=int(self.alive.sum()),
             rounds=len(self.rounds),
@@ -301,6 +404,274 @@ class HistSim:
             stats=stats,
             rounds=tuple(self.rounds),
         )
+
+    def run(self) -> MatchResult:
+        """Execute all three stages and assemble the result.
+
+        Thin driver over :class:`HistSimStepper`: steps the state machine to
+        completion, so run-to-completion and step-driven execution share one
+        code path (and produce identical results by construction).
+        """
+        return HistSimStepper(algorithm=self).run_to_completion()
+
+
+# ---------------------------------------------------------------------------
+# Resumable stepper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stage1:
+    """Initial state: the prune pass has not run yet."""
+
+
+@dataclass
+class Stage2Round:
+    """One stage-2 round in progress.
+
+    ``plan`` is None until the round's budgets have been computed; it stays
+    set while the round's sampling is split across steps
+    (``max_step_rows``).  ``exhaust`` marks the post-``max_rounds`` safety
+    valve, whose full scan is performed as its own step.
+    """
+
+    round_index: int
+    delta_upper: float
+    plan: RoundPlan | None = None
+    fresh_rows: int = 0
+    exhaust: bool = False
+
+
+@dataclass
+class Stage3:
+    """Reconstruction of the settled matching set in progress."""
+
+    matching: np.ndarray
+    needed: np.ndarray | None = None
+    fresh_rows: int = 0
+
+
+@dataclass
+class Done:
+    """Terminal state: the assembled result is available."""
+
+    result: MatchResult
+
+
+StepperStage = Union[Stage1, Stage2Round, Stage3, Done]
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one :meth:`HistSimStepper.step` call did."""
+
+    stage: str
+    round_index: int | None = None
+    fresh_rows: int = 0
+    done: bool = False
+
+
+class HistSimStepper:
+    """Resumable, step-driven execution of Algorithm 1.
+
+    Each :meth:`step` performs one bounded unit of work — the stage-1 prune
+    pass, one stage-2 round (or one ``max_step_rows``-bounded slice of its
+    sampling), one stage-3 reconstruction batch — then yields control.  A
+    scheduler can therefore interleave many concurrent queries' steps
+    (:mod:`repro.system.scheduler`) while each query's results stay
+    *identical* to a run-to-completion execution: the stepper calls exactly
+    the same stage methods in the same order on the same sampler.
+
+    Parameters
+    ----------
+    sampler, target, config, stats_cost:
+        Forwarded to :class:`HistSim` when no ``algorithm`` is given.
+    algorithm:
+        An existing :class:`HistSim` to drive (mutually exclusive with the
+        constructor arguments above).
+    max_step_rows:
+        Optional bound on rows sampled per step.  When set, a stage-2
+        round's (or stage 3's) sampling is split across multiple steps by
+        passing ``max_rows`` to the sampler; the delivered rows and the
+        final result are identical to the unbounded execution because
+        samplers consume a fixed scan order.  ``None`` (default) keeps one
+        sampling call per round.
+    """
+
+    def __init__(
+        self,
+        sampler: TupleSampler | None = None,
+        target: np.ndarray | Sequence[float] | None = None,
+        config: HistSimConfig | None = None,
+        stats_cost: StatsCostHook | None = None,
+        *,
+        algorithm: HistSim | None = None,
+        max_step_rows: int | None = None,
+    ) -> None:
+        if algorithm is None:
+            if sampler is None or target is None:
+                raise ValueError("provide a sampler and target, or an algorithm")
+            algorithm = HistSim(
+                sampler,
+                np.asarray(target, dtype=np.float64),
+                config or HistSimConfig(),
+                stats_cost,
+            )
+        elif (
+            sampler is not None
+            or target is not None
+            or config is not None
+            or stats_cost is not None
+        ):
+            raise ValueError(
+                "pass either an existing algorithm or constructor arguments, not both"
+            )
+        if max_step_rows is not None and max_step_rows < 1:
+            raise ValueError(f"max_step_rows must be >= 1, got {max_step_rows}")
+        self.algorithm = algorithm
+        self.max_step_rows = max_step_rows
+        self.stage: StepperStage = Stage1()
+        self.steps_taken = 0
+        self._pruned_mask: np.ndarray | None = None
+        self._before_stage1 = int(algorithm.state.samples.sum())
+        self._after_stage1 = 0
+        self._after_stage2 = 0
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def done(self) -> bool:
+        return isinstance(self.stage, Done)
+
+    @property
+    def stage_name(self) -> str:
+        if isinstance(self.stage, Stage1):
+            return "stage1"
+        if isinstance(self.stage, Stage2Round):
+            return "stage2"
+        if isinstance(self.stage, Stage3):
+            return "stage3"
+        return "done"
+
+    @property
+    def result(self) -> MatchResult:
+        if not isinstance(self.stage, Done):
+            raise RuntimeError(f"stepper is still in {self.stage_name}; no result yet")
+        return self.stage.result
+
+    # ------------------------------------------------------------------ steps
+
+    def step(self) -> StepReport:
+        """Advance the state machine by one bounded unit of work."""
+        if isinstance(self.stage, Done):
+            raise RuntimeError("HistSimStepper is already done")
+        self.steps_taken += 1
+        if isinstance(self.stage, Stage1):
+            return self._step_stage1()
+        if isinstance(self.stage, Stage2Round):
+            return self._step_stage2(self.stage)
+        return self._step_stage3(self.stage)
+
+    def run_to_completion(self) -> MatchResult:
+        """Drive :meth:`step` until :class:`Done`; returns the result."""
+        while not self.done:
+            self.step()
+        return self.result
+
+    def _sample(self, needed: np.ndarray) -> np.ndarray:
+        """One sampler call, bounded by ``max_step_rows`` when configured."""
+        if self.max_step_rows is None:
+            return self.algorithm.sampler.sample_until(needed)
+        return self.algorithm.sampler.sample_until(
+            needed, max_rows=self.max_step_rows
+        )
+
+    def _slice_complete(self, fresh_rows: int) -> bool:
+        """A bounded call that delivered fewer rows than its bound stopped
+        because the remaining budgets were satisfied (or the data ran out)."""
+        return self.max_step_rows is None or fresh_rows < self.max_step_rows
+
+    def _step_stage1(self) -> StepReport:
+        algo = self.algorithm
+        before = int(algo.state.samples.sum())
+        self._pruned_mask = algo.run_stage1()
+        self._after_stage1 = int(algo.state.samples.sum())
+        shortcut = algo.stage2_shortcut()
+        if shortcut is not None:
+            self._enter_stage3(shortcut)
+        else:
+            self.stage = Stage2Round(
+                round_index=1, delta_upper=algo.config.stage_delta / 2.0
+            )
+        return StepReport(stage="stage1", fresh_rows=self._after_stage1 - before)
+
+    def _step_stage2(self, st: Stage2Round) -> StepReport:
+        algo = self.algorithm
+        if st.exhaust:
+            before = int(algo.state.samples.sum() + algo.state.round_samples.sum())
+            matching = algo.exhaust_stage2()
+            fresh = int(algo.state.samples.sum()) - before
+            self._enter_stage3(matching)
+            return StepReport(
+                stage="stage2", round_index=st.round_index, fresh_rows=fresh
+            )
+        if st.plan is None:
+            st.plan = algo.begin_round(st.round_index, st.delta_upper)
+        remaining = np.maximum(st.plan.budgets - algo.state.round_samples, 0.0)
+        fresh = self._sample(remaining)
+        algo.state.record_round_counts(fresh)
+        fresh_rows = int(fresh.sum())
+        st.fresh_rows += fresh_rows
+        if self._slice_complete(fresh_rows):
+            matching = algo.finish_round(st.plan, st.fresh_rows)
+            if matching is not None:
+                self._enter_stage3(matching)
+            elif st.round_index >= algo.config.max_rounds:
+                self.stage = Stage2Round(
+                    round_index=st.round_index + 1,
+                    delta_upper=st.delta_upper,
+                    exhaust=True,
+                )
+            else:
+                self.stage = Stage2Round(
+                    round_index=st.round_index + 1,
+                    delta_upper=st.delta_upper / 2.0,
+                )
+        return StepReport(
+            stage="stage2", round_index=st.round_index, fresh_rows=fresh_rows
+        )
+
+    def _enter_stage3(self, matching: np.ndarray) -> None:
+        algo = self.algorithm
+        self._after_stage2 = int(
+            algo.state.samples.sum() + algo.state.round_samples.sum()
+        )
+        self.stage = Stage3(matching=np.asarray(matching, dtype=np.int64))
+
+    def _step_stage3(self, st: Stage3) -> StepReport:
+        algo = self.algorithm
+        if st.needed is None:
+            st.needed = algo.stage3_needed(st.matching)
+        fresh = self._sample(st.needed)
+        algo.state.record_round_counts(fresh)
+        fresh_rows = int(fresh.sum())
+        st.fresh_rows += fresh_rows
+        st.needed = np.maximum(st.needed - fresh.sum(axis=1), 0.0)
+        if not self._slice_complete(fresh_rows):
+            return StepReport(stage="stage3", fresh_rows=fresh_rows)
+        algo.state.fold_round_into_cumulative()
+        algo._stats_cost("stage3", int(st.matching.size) * algo.sampler.num_groups)
+        after_stage3 = int(algo.state.samples.sum())
+        assert self._pruned_mask is not None
+        result = algo._assemble_result(
+            self._pruned_mask,
+            st.matching,
+            stage1_samples=self._after_stage1 - self._before_stage1,
+            stage2_samples=self._after_stage2 - self._after_stage1,
+            stage3_samples=after_stage3 - self._after_stage2,
+        )
+        self.stage = Done(result)
+        return StepReport(stage="stage3", fresh_rows=fresh_rows, done=True)
 
 
 def run_histsim(

@@ -56,13 +56,21 @@ class TupleSampler(Protocol):
         """Deliver ``m`` fresh uniform tuples; returns a (candidates × groups) count matrix."""
         ...
 
-    def sample_until(self, needed: np.ndarray) -> np.ndarray:
+    def sample_until(self, needed: np.ndarray, max_rows: float | None = None) -> np.ndarray:
         """Deliver fresh tuples until every candidate ``i`` has received
         ``min(needed[i], rows remaining for i)`` of them.
 
         ``needed`` is a per-candidate float array; ``np.inf`` entries are
         satisfied only by exhausting that candidate.  Returns the fresh
         (candidates × groups) count matrix.
+
+        ``max_rows`` bounds the rows delivered by this call: once at least
+        ``max_rows`` rows have been delivered the call returns early, and the
+        caller resumes by calling again with the not-yet-satisfied residual
+        budgets.  Because samplers consume a fixed scan order, a budget split
+        across such incremental requests delivers exactly the same tuples as
+        a single unbounded call — the property the resumable stepper
+        (:class:`~repro.core.histsim.HistSimStepper`) relies on.
         """
         ...
 
@@ -154,7 +162,7 @@ class ArraySampler:
         self._cursor = stop
         return counts
 
-    def sample_until(self, needed: np.ndarray) -> np.ndarray:
+    def sample_until(self, needed: np.ndarray, max_rows: float | None = None) -> np.ndarray:
         needed = np.asarray(needed, dtype=np.float64)
         if needed.shape != (self._num_candidates,):
             raise ValueError(
@@ -164,10 +172,14 @@ class ArraySampler:
         goal = np.minimum(np.maximum(needed, 0.0), remaining)
         fresh = np.zeros((self._num_candidates, self._num_groups), dtype=np.int64)
         fresh_rows = np.zeros(self._num_candidates, dtype=np.float64)
+        delivered_call = 0
         while np.any(fresh_rows < goal) and not self.fully_scanned:
+            if max_rows is not None and delivered_call >= max_rows:
+                break
             stop = min(self._cursor + self._batch_size, self._z.size)
             batch = self._deliver(self._cursor, stop)
             self._cursor = stop
             fresh += batch
             fresh_rows += batch.sum(axis=1)
+            delivered_call += int(batch.sum())
         return fresh

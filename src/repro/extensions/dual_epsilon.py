@@ -37,18 +37,17 @@ class DualEpsilonHistSim(HistSim):
         super().__init__(sampler, target, config, stats_cost)
         self.epsilon_reconstruction = epsilon_reconstruction
 
-    def run_stage3(self, matching: np.ndarray) -> None:
+    def stage3_needed(self, matching: np.ndarray) -> np.ndarray:
+        """Reconstruction budgets at ε₂ — the stepper and :meth:`run_stage3`
+        both budget stage 3 through this method.  (Stage-2 round-budget
+        ceilings still scale with the ε₁ target, as before.)"""
         cfg = self.config
         target_n = stage3_sample_target(
             self.epsilon_reconstruction, cfg.delta, cfg.k, self.sampler.num_groups
         )
         needed = np.zeros(self.alive.size, dtype=np.float64)
         needed[matching] = np.maximum(0, target_n - self.state.samples[matching])
-        if np.any(needed > 0):
-            fresh = self.sampler.sample_until(needed)
-            self.state.record_round_counts(fresh)
-            self.state.fold_round_into_cumulative()
-        self._stats_cost("stage3", int(matching.size) * self.sampler.num_groups)
+        return needed
 
 
 def run_histsim_dual_epsilon(

@@ -123,7 +123,7 @@ class PredicateCandidateSampler:
         self._cursor = stop
         return counts
 
-    def sample_until(self, needed: np.ndarray) -> np.ndarray:
+    def sample_until(self, needed: np.ndarray, max_rows: float | None = None) -> np.ndarray:
         needed = np.asarray(needed, dtype=np.float64)
         if needed.shape != (self._num_candidates,):
             raise ValueError(
@@ -133,10 +133,14 @@ class PredicateCandidateSampler:
         goal = np.minimum(np.maximum(needed, 0.0), remaining)
         fresh = np.zeros((self._num_candidates, self._num_groups), dtype=np.int64)
         fresh_rows = np.zeros(self._num_candidates, dtype=np.float64)
+        delivered_call = 0
         while np.any(fresh_rows < goal) and not self.fully_scanned:
+            if max_rows is not None and delivered_call >= max_rows:
+                break
             stop = min(self._cursor + self._batch_size, self._x.size)
             batch = self._deliver(self._cursor, stop)
             self._cursor = stop
             fresh += batch
             fresh_rows += batch.sum(axis=1)
+            delivered_call += int(batch.sum())
         return fresh

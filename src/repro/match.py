@@ -1,12 +1,19 @@
-"""One-call library front door: ``match_histograms``.
+"""One-call library front doors: ``match_histograms`` and ``match_many``.
 
-Wraps the full pipeline — preparation (shuffle, index, ground truth, target
-resolution), execution, and audit — for users who have a
-:class:`~repro.storage.ColumnTable` and a question, without needing to
-touch the system internals.
+``match_histograms`` wraps the full single-query pipeline — preparation
+(shuffle, index, ground truth, target resolution), execution, and audit —
+for users who have a :class:`~repro.storage.ColumnTable` and a question,
+without needing to touch the system internals.
+
+``match_many`` is the batch counterpart: it drives a whole list of queries
+through one :class:`~repro.system.MatchSession`, so the expensive prepared
+artifacts are computed once and shared, and execution is interleaved on one
+simulated clock with per-query latency and aggregate throughput reporting.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -17,8 +24,24 @@ from .query.spec import HistogramQuery
 from .storage.table import ColumnTable
 from .system.fastmatch import DEFAULT_BLOCK_SIZE, PreparedQuery, run_approach
 from .system.report import RunReport
+from .system.scheduler import ScheduleResult
+from .system.session import MatchSession
 
-__all__ = ["match_histograms"]
+__all__ = ["match_histograms", "match_many"]
+
+
+def _as_target_spec(
+    target: TargetSpec | np.ndarray | int | None,
+) -> TargetSpec:
+    """Coerce the user-facing target shorthand into a TargetSpec."""
+    if isinstance(target, TargetSpec):
+        return target
+    if target is None:
+        return TargetSpec(kind="closest_to_uniform")
+    if isinstance(target, (int, np.integer)):
+        return TargetSpec(kind="candidate", candidate=int(target))
+    vector = tuple(float(v) for v in np.asarray(target, dtype=np.float64))
+    return TargetSpec(kind="explicit", vector=vector)
 
 
 def match_histograms(
@@ -67,16 +90,7 @@ def match_histograms(
     ``.result.histograms`` the estimated visualizations, ``.audit`` the
     guarantee check, ``.elapsed_seconds`` the simulated latency.
     """
-    if isinstance(target, TargetSpec):
-        spec = target
-    elif target is None:
-        spec = TargetSpec(kind="closest_to_uniform")
-    elif isinstance(target, (int, np.integer)):
-        spec = TargetSpec(kind="candidate", candidate=int(target))
-    else:
-        vector = tuple(float(v) for v in np.asarray(target, dtype=np.float64))
-        spec = TargetSpec(kind="explicit", vector=vector)
-
+    spec = _as_target_spec(target)
     query = HistogramQuery(
         candidate_attribute=candidate_attribute,
         grouping_attribute=grouping_attribute,
@@ -89,3 +103,59 @@ def match_histograms(
     rng = np.random.default_rng(seed)
     prepared = PreparedQuery.prepare(table, query, rng, block_size=block_size)
     return run_approach(prepared, approach, config, seed=seed, audit=audit)
+
+
+def match_many(
+    table: ColumnTable,
+    queries: Sequence[HistogramQuery],
+    *,
+    epsilon: float = 0.1,
+    delta: float = 0.01,
+    sigma: float = 0.0,
+    approach: str = "fastmatch",
+    seed: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    audit: bool = True,
+    max_step_rows: int | None = None,
+) -> ScheduleResult:
+    """Run a batch of histogram-matching queries through one shared session.
+
+    Every query's preparation artifacts (shuffle, bitmap index, ground
+    truth) are computed once per distinct sub-key and reused; execution is
+    interleaved round-robin on one simulated clock, modelling a server
+    working through a concurrent queue.
+
+    Parameters
+    ----------
+    table:
+        The encoded relation all queries run against.
+    queries:
+        :class:`~repro.query.HistogramQuery` instances; each query's own
+        ``k`` is used, with the shared ``epsilon``/``delta``/``sigma``.
+    approach, seed, block_size, audit:
+        As in :func:`match_histograms`, applied to every query.
+    max_step_rows:
+        Optional per-step row bound for finer interleaving granularity.
+
+    Returns
+    -------
+    ScheduleResult — iterable of per-query
+    :class:`~repro.system.JobOutcome` in submission order (``.report``
+    holds the usual :class:`~repro.system.RunReport`; ``.latency_seconds``
+    is the queue latency on the shared clock), plus aggregate
+    ``.throughput_qps`` and ``.elapsed_seconds``.
+    """
+    session = MatchSession(table, block_size=block_size, audit=audit)
+    configs = [
+        HistSimConfig(k=query.k, epsilon=epsilon, delta=delta, sigma=sigma)
+        for query in queries
+    ]
+    for query, config in zip(queries, configs):
+        session.submit(
+            query,
+            approach=approach,
+            config=config,
+            seed=seed,
+            max_step_rows=max_step_rows,
+        )
+    return session.run()

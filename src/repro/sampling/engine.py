@@ -232,12 +232,19 @@ class BlockSamplingEngine:
 
     # ---------------------------------------------------------------- stage 2+
 
-    def sample_until(self, needed: np.ndarray) -> np.ndarray:
+    def sample_until(self, needed: np.ndarray, max_rows: float | None = None) -> np.ndarray:
         """Scan with block selection until every candidate's fresh budget is met.
 
         ``needed`` is capped per candidate by its remaining (undelivered)
         rows; one full pass over the non-consumed blocks therefore always
         suffices to terminate.
+
+        ``max_rows`` (optional) returns early once this call has delivered
+        at least that many rows, at a window boundary; the caller resumes by
+        calling again with the residual budgets.  The engine consumes blocks
+        in a fixed scan order and the active set is recomputed per window
+        from the residuals, so an incremental sequence of calls reads the
+        same blocks as one unbounded call.
         """
         needed = np.asarray(needed, dtype=np.float64)
         if needed.shape != (self._num_candidates,):
@@ -248,6 +255,7 @@ class BlockSamplingEngine:
         goal = np.minimum(np.maximum(needed, 0.0), remaining)
         fresh = np.zeros((self._num_candidates, self._num_groups), dtype=np.int64)
         fresh_rows = np.zeros(self._num_candidates, dtype=np.float64)
+        delivered_call = 0
 
         num_blocks = max(self.layout.num_blocks, 1)
         windows_budget = 2 * (-(-num_blocks // self.window_blocks)) + 2
@@ -257,6 +265,8 @@ class BlockSamplingEngine:
             if active.size == 0:
                 break
             if self.fully_scanned:
+                break
+            if max_rows is not None and delivered_call >= max_rows:
                 break
             blocks = self._window()
             windows_used += 1
@@ -290,6 +300,7 @@ class BlockSamplingEngine:
                 )
             fresh += counts
             fresh_rows += counts.sum(axis=1)
+            delivered_call += int(counts.sum())
         else:
             raise RuntimeError(
                 "sampling engine exceeded its window budget; "

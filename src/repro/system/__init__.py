@@ -1,15 +1,19 @@
 """The FastMatch system architecture (Section 4): simulated clock, statistics
-engine, Scan baseline, and the four-approach runner."""
+engine, Scan baseline, the four-approach runner, and the multi-query
+serving layer (sessions + round-robin scheduler)."""
 
 from .clock import SimulatedClock
 from .fastmatch import (
     APPROACHES,
     DEFAULT_BLOCK_SIZE,
     PreparedQuery,
+    make_engine,
     run_approach,
 )
 from .report import RunReport
 from .scan import run_scan
+from .scheduler import JobOutcome, RoundRobinScheduler, ScheduleResult
+from .session import CacheStats, MatchSession
 from .stats_engine import StatsEngine
 from .visualize import render_comparison, render_histogram, render_result
 
@@ -20,9 +24,15 @@ __all__ = [
     "APPROACHES",
     "DEFAULT_BLOCK_SIZE",
     "PreparedQuery",
+    "make_engine",
     "run_approach",
     "RunReport",
     "run_scan",
     "SimulatedClock",
     "StatsEngine",
+    "JobOutcome",
+    "RoundRobinScheduler",
+    "ScheduleResult",
+    "CacheStats",
+    "MatchSession",
 ]

@@ -44,7 +44,15 @@ from .report import RunReport
 from .scan import run_scan
 from .stats_engine import StatsEngine
 
-__all__ = ["APPROACHES", "PreparedQuery", "run_approach"]
+__all__ = [
+    "APPROACHES",
+    "PreparedQuery",
+    "assemble_report",
+    "engine_counters",
+    "make_engine",
+    "run_approach",
+    "scan_counters",
+]
 
 #: Tuples per column block.  The paper's 600-byte blocks over raw rows
 #: averaging ~50 bytes (32 GiB / 606M rows) hold a few dozen tuples; we use
@@ -109,7 +117,7 @@ class PreparedQuery:
         return self.exact_counts.shape[1]
 
 
-def _make_engine(
+def make_engine(
     prepared: PreparedQuery,
     approach: str,
     config: HistSimConfig,
@@ -117,6 +125,11 @@ def _make_engine(
     clock: SimulatedClock,
     rng: np.random.Generator,
 ) -> BlockSamplingEngine:
+    """Build the block sampling engine for one sampling approach.
+
+    Shared by :func:`run_approach` (one-shot) and the session layer
+    (:mod:`repro.system.session`), which wires the same engine to a
+    resumable stepper on a shared clock."""
     if approach == "fastmatch":
         policy = AnyActiveLookaheadPolicy()
         window = config.lookahead
@@ -139,6 +152,60 @@ def _make_engine(
         rng=rng,
         window_blocks=window,
         row_filter=prepared.row_filter,
+    )
+
+
+def engine_counters(engine: BlockSamplingEngine) -> dict[str, int]:
+    """An engine's observable effort, in the RunReport counters layout."""
+    return {
+        "blocks_read": engine.counters.blocks_read,
+        "blocks_skipped": engine.counters.blocks_skipped,
+        "probes": engine.counters.probes,
+        "rows_delivered": engine.counters.rows_delivered,
+    }
+
+
+def scan_counters(shuffled: ShuffledTable) -> dict[str, int]:
+    """The exact-scan baseline's effort: every block, no selection."""
+    return {
+        "blocks_read": shuffled.num_blocks,
+        "blocks_skipped": 0,
+        "probes": 0,
+        "rows_delivered": shuffled.num_rows,
+    }
+
+
+def assemble_report(
+    prepared: PreparedQuery,
+    approach: str,
+    result: MatchResult,
+    config: HistSimConfig,
+    elapsed_ns: float,
+    counters: dict[str, int],
+    *,
+    breakdown: dict[str, float] | None = None,
+    audit: bool = True,
+    query_name: str | None = None,
+) -> RunReport:
+    """Package one execution's outcome, auditing against the cached truth.
+
+    Shared by :func:`run_approach` and the session jobs so the report shape
+    stays in one place."""
+    report_audit = None
+    if audit:
+        report_audit = audit_result(
+            result, prepared.exact_counts, prepared.target, config.epsilon, config.sigma
+        )
+    return RunReport(
+        approach=approach,
+        query_name=query_name
+        or prepared.query.name
+        or prepared.query.candidate_attribute,
+        result=result,
+        elapsed_ns=elapsed_ns,
+        breakdown=breakdown or {},
+        counters=counters,
+        audit=report_audit,
     )
 
 
@@ -166,35 +233,21 @@ def run_approach(
             cost_model,
             clock,
         )
-        counters: dict[str, int] = {
-            "blocks_read": prepared.shuffled.num_blocks,
-            "blocks_skipped": 0,
-            "probes": 0,
-            "rows_delivered": prepared.shuffled.num_rows,
-        }
+        counters = scan_counters(prepared.shuffled)
     else:
-        engine = _make_engine(prepared, approach, config, cost_model, clock, rng)
+        engine = make_engine(prepared, approach, config, cost_model, clock, rng)
         stats_engine = StatsEngine(cost_model, clock)
         algo = HistSim(engine, prepared.target, config, stats_cost=stats_engine)
         result = algo.run()
-        counters = {
-            "blocks_read": engine.counters.blocks_read,
-            "blocks_skipped": engine.counters.blocks_skipped,
-            "probes": engine.counters.probes,
-            "rows_delivered": engine.counters.rows_delivered,
-        }
+        counters = engine_counters(engine)
 
-    report_audit = None
-    if audit:
-        report_audit = audit_result(
-            result, prepared.exact_counts, prepared.target, config.epsilon, config.sigma
-        )
-    return RunReport(
-        approach=approach,
-        query_name=prepared.query.name or prepared.query.candidate_attribute,
-        result=result,
-        elapsed_ns=clock.elapsed_ns,
+    return assemble_report(
+        prepared,
+        approach,
+        result,
+        config,
+        clock.elapsed_ns,
+        counters,
         breakdown=clock.snapshot(),
-        counters=counters,
-        audit=report_audit,
+        audit=audit,
     )

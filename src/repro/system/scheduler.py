@@ -1,0 +1,190 @@
+"""Round-robin interleaving of many resumable queries on one simulated clock.
+
+The stepper (:class:`~repro.core.histsim.HistSimStepper`) makes a HistSim
+run interruptible at bounded-work boundaries; this module supplies the other
+half of a serving system — a scheduler that drains many such runs
+concurrently.  All jobs charge one shared :class:`SimulatedClock`, so the
+clock models a single-threaded server interleaving queries: a query's
+*latency* (submission → completion on the shared clock) includes the time
+spent serving its neighbours, while its *service time* counts only its own
+steps.  Aggregate throughput is completed queries per simulated second.
+
+Scheduling is deliberately plain round-robin: every alive job advances by
+one step per cycle.  Because each step is one bounded unit of sampling +
+testing, cheap queries finish early and leave the rotation, which is enough
+to demonstrate the serving architecture without a priority model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from .clock import SimulatedClock
+from .report import RunReport
+
+__all__ = ["SchedulableJob", "JobOutcome", "ScheduleResult", "RoundRobinScheduler"]
+
+
+@runtime_checkable
+class SchedulableJob(Protocol):
+    """What the scheduler needs from a unit of resumable work."""
+
+    name: str
+
+    @property
+    def done(self) -> bool:
+        """True once no further steps are required."""
+        ...
+
+    def step(self) -> None:
+        """Advance by one bounded unit of work, charging the shared clock."""
+        ...
+
+    def finish(self, service_ns: float) -> RunReport:
+        """Assemble the job's report; called exactly once, after ``done``."""
+        ...
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One completed query's serving metrics on the shared clock."""
+
+    name: str
+    report: RunReport
+    submitted_ns: float
+    finished_ns: float
+    steps: int
+
+    @property
+    def latency_ns(self) -> float:
+        """Submission-to-completion time, including other queries' service."""
+        return self.finished_ns - self.submitted_ns
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_ns * 1e-9
+
+    @property
+    def service_ns(self) -> float:
+        """Time attributable to this query's own steps (``report.elapsed_ns``)."""
+        return self.report.elapsed_ns
+
+    @property
+    def service_seconds(self) -> float:
+        return self.service_ns * 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """All outcomes of one scheduler drain, in submission order."""
+
+    outcomes: tuple[JobOutcome, ...]
+    elapsed_ns: float
+    total_steps: int
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __getitem__(self, index):
+        return self.outcomes[index]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ns * 1e-9
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per simulated second of the drain."""
+        if not self.outcomes:
+            return 0.0
+        if self.elapsed_ns <= 0:
+            return float("inf")
+        return len(self.outcomes) / self.elapsed_seconds
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.latency_seconds for o in self.outcomes) / len(self.outcomes)
+
+
+class _Entry:
+    """Scheduler-internal bookkeeping wrapped around one job."""
+
+    __slots__ = ("job", "submitted_ns", "service_ns", "steps", "outcome", "reported")
+
+    def __init__(self, job: SchedulableJob, submitted_ns: float) -> None:
+        self.job = job
+        self.submitted_ns = submitted_ns
+        self.service_ns = 0.0
+        self.steps = 0
+        self.outcome: JobOutcome | None = None
+        self.reported = False
+
+
+class RoundRobinScheduler:
+    """Interleave steps of many jobs over one shared simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        The shared clock every job charges.  Submission and completion
+        timestamps are read from it, so per-query latency reflects the
+        interleaved execution.
+    """
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self.clock = clock
+        self._entries: list[_Entry] = []
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet finished."""
+        return sum(1 for e in self._entries if e.outcome is None)
+
+    def add(self, job: SchedulableJob) -> None:
+        """Submit a job; its latency clock starts now."""
+        self._entries.append(_Entry(job, submitted_ns=self.clock.elapsed_ns))
+
+    def _advance(self, entry: _Entry) -> None:
+        before = self.clock.elapsed_ns
+        entry.job.step()
+        entry.service_ns += self.clock.elapsed_ns - before
+        entry.steps += 1
+        if entry.job.done:
+            report = entry.job.finish(entry.service_ns)
+            entry.outcome = JobOutcome(
+                name=entry.job.name,
+                report=report,
+                submitted_ns=entry.submitted_ns,
+                finished_ns=self.clock.elapsed_ns,
+                steps=entry.steps,
+            )
+
+    def run(self) -> ScheduleResult:
+        """Drain every pending job round-robin; returns the outcomes of jobs
+        completed by this drain (in submission order), so repeated
+        submit/run cycles never double-report.  Jobs added while draining
+        join the rotation."""
+        start_ns = self.clock.elapsed_ns
+        while True:
+            alive = [e for e in self._entries if e.outcome is None]
+            if not alive:
+                break
+            for entry in alive:
+                if entry.outcome is None:
+                    self._advance(entry)
+        fresh = [
+            e for e in self._entries if e.outcome is not None and not e.reported
+        ]
+        for entry in fresh:
+            entry.reported = True
+        return ScheduleResult(
+            outcomes=tuple(e.outcome for e in fresh),
+            elapsed_ns=self.clock.elapsed_ns - start_ns,
+            total_steps=sum(e.steps for e in fresh),
+        )

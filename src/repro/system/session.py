@@ -1,0 +1,419 @@
+"""Multi-query serving sessions: shared artifacts + interleaved execution.
+
+A :class:`MatchSession` owns one dataset and turns the one-shot pipeline
+into the skeleton of a serving system:
+
+- **Artifact cache** — the expensive, approach-independent preparation
+  (shuffle layout, bit-per-block bitmap index, exact ground truth, row
+  filters) is cached by ``(query, block_size, seed)`` *and* by the
+  sub-artifact keys each piece actually depends on, so two queries over the
+  same candidate attribute share one shuffle and one index even when their
+  targets, tolerances, or grouping attributes differ.  This is the shared-
+  computation idea that makes multi-query serving O(preparation) once, not
+  per query.
+- **Interleaved execution** — each submitted query runs as a resumable
+  :class:`~repro.core.histsim.HistSimStepper` over its own sampling engine,
+  and a :class:`~repro.system.scheduler.RoundRobinScheduler` interleaves
+  their steps on the session's shared simulated clock, reporting per-query
+  latency and aggregate throughput.
+
+Results are identical to standalone :func:`~repro.system.fastmatch.run_approach`
+runs with the same prepared query, config, and seed: interleaving reorders
+only *when* each query's work happens on the clock, never *what* it samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitmap.builder import build_bitmap_index
+from ..core.config import HistSimConfig
+from ..core.histsim import HistSim, HistSimStepper
+from ..core.target import resolve_target
+from ..query.executor import exact_candidate_counts
+from ..query.predicate import TruePredicate
+from ..query.spec import HistogramQuery
+from ..storage.cost_model import DEFAULT_COST_MODEL, CostModel
+from ..storage.shuffle import shuffle_table
+from ..storage.table import ColumnTable
+from .clock import SimulatedClock
+from .fastmatch import (
+    APPROACHES,
+    DEFAULT_BLOCK_SIZE,
+    PreparedQuery,
+    assemble_report,
+    engine_counters,
+    make_engine,
+    scan_counters,
+)
+from .report import RunReport
+from .scan import run_scan
+from .scheduler import JobOutcome, RoundRobinScheduler, ScheduleResult
+from .stats_engine import StatsEngine
+
+__all__ = ["CacheStats", "MatchSession"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the session's prepared-artifact cache layers."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+
+    def record(self, layer: str, hit: bool) -> None:
+        counter = self.hits if hit else self.misses
+        counter[layer] = counter.get(layer, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def summary(self) -> str:
+        layers = sorted(set(self.hits) | set(self.misses))
+        parts = [
+            f"{layer}={self.hits.get(layer, 0)}h/{self.misses.get(layer, 0)}m"
+            for layer in layers
+        ]
+        return " ".join(parts) if parts else "empty"
+
+
+class _StepperJob:
+    """One query's resumable execution unit inside a session."""
+
+    def __init__(
+        self,
+        name: str,
+        prepared: PreparedQuery,
+        approach: str,
+        config: HistSimConfig,
+        cost_model: CostModel,
+        clock: SimulatedClock,
+        seed: int,
+        audit: bool,
+        max_step_rows: int | None,
+    ) -> None:
+        self.name = name
+        self.approach = approach
+        self.prepared = prepared
+        self.config = config
+        self._audit = audit
+        rng = np.random.default_rng(seed)
+        self.engine = make_engine(prepared, approach, config, cost_model, clock, rng)
+        stats_engine = StatsEngine(cost_model, clock)
+        algorithm = HistSim(
+            self.engine, prepared.target, config, stats_cost=stats_engine
+        )
+        self.stepper = HistSimStepper(algorithm=algorithm, max_step_rows=max_step_rows)
+
+    @property
+    def done(self) -> bool:
+        return self.stepper.done
+
+    def step(self) -> None:
+        self.stepper.step()
+
+    def finish(self, service_ns: float) -> RunReport:
+        return assemble_report(
+            self.prepared,
+            self.approach,
+            self.stepper.result,
+            self.config,
+            service_ns,
+            engine_counters(self.engine),
+            audit=self._audit,
+            query_name=self.name,
+        )
+
+
+class _ScanJob:
+    """The exact-scan baseline as a single atomic scheduler step."""
+
+    def __init__(
+        self,
+        name: str,
+        prepared: PreparedQuery,
+        config: HistSimConfig,
+        cost_model: CostModel,
+        clock: SimulatedClock,
+        audit: bool,
+    ) -> None:
+        self.name = name
+        self.approach = "scan"
+        self.prepared = prepared
+        self.config = config
+        self.cost_model = cost_model
+        self.clock = clock
+        self._audit = audit
+        self._result = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def step(self) -> None:
+        self._result, _ = run_scan(
+            self.prepared.shuffled,
+            self.prepared.query,
+            self.prepared.target,
+            self.config.k,
+            self.config.sigma,
+            self.cost_model,
+            self.clock,
+        )
+
+    def finish(self, service_ns: float) -> RunReport:
+        return assemble_report(
+            self.prepared,
+            "scan",
+            self._result,
+            self.config,
+            service_ns,
+            scan_counters(self.prepared.shuffled),
+            audit=self._audit,
+            query_name=self.name,
+        )
+
+
+class MatchSession:
+    """A long-lived, multi-query histogram-matching session over one table.
+
+    Parameters
+    ----------
+    table:
+        The encoded relation every submitted query runs against.
+    block_size:
+        Tuples per column block for the shuffled layout.
+    cost_model:
+        Simulated-hardware constants shared by all queries.
+    audit:
+        Verify guarantees against the cached exact ground truth per query.
+
+    Usage
+    -----
+    >>> session = MatchSession(table)
+    >>> session.submit(query_a)
+    >>> session.submit(query_b, approach="scanmatch")
+    >>> run = session.run()           # interleaves both, shared clock
+    >>> run.throughput_qps, run[0].latency_seconds, run[0].report.result
+    """
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        audit: bool = True,
+    ) -> None:
+        self.table = table
+        self.block_size = block_size
+        self.cost_model = cost_model
+        self.audit = audit
+        self.clock = SimulatedClock()
+        self.scheduler = RoundRobinScheduler(self.clock)
+        self.cache_stats = CacheStats()
+        self._shuffle_cache: dict = {}
+        self._index_cache: dict = {}
+        self._exact_cache: dict = {}
+        self._filter_cache: dict = {}
+        self._prepared_cache: dict = {}
+        self._submitted = 0
+
+    # -------------------------------------------------------------- artifacts
+
+    def _cached(self, cache: dict, key, layer: str, build):
+        hit = key in cache
+        self.cache_stats.record(layer, hit)
+        if not hit:
+            cache[key] = build()
+        return cache[key]
+
+    @property
+    def cache_hits(self) -> int:
+        """Total prepared-artifact cache hits across all layers."""
+        return self.cache_stats.total_hits
+
+    def prepared(self, query: HistogramQuery, seed: int = 0) -> PreparedQuery:
+        """The cached :class:`PreparedQuery` for ``(query, block_size, seed)``.
+
+        Sub-artifacts are cached at the granularity they actually depend on:
+        the shuffle on ``(block_size, seed)``, the bitmap index on the
+        candidate attribute, ground truth and row filters on the query
+        template — so distinct queries still share whatever they can.
+        """
+        key = (query, self.block_size, seed)
+        if key in self._prepared_cache:
+            self.cache_stats.record("prepared", True)
+            return self._prepared_cache[key]
+        self.cache_stats.record("prepared", False)
+        query.validate_against(self.table)
+        shuffled = self._cached(
+            self._shuffle_cache,
+            (self.block_size, seed),
+            "shuffle",
+            lambda: shuffle_table(
+                self.table, self.block_size, np.random.default_rng(seed)
+            ),
+        )
+        index = self._cached(
+            self._index_cache,
+            (query.candidate_attribute, self.block_size, seed),
+            "index",
+            lambda: build_bitmap_index(shuffled, query.candidate_attribute),
+        )
+        # Exact counts are aggregates, invariant to the shuffle permutation —
+        # key only on the query template so every seed shares one ground truth.
+        exact = self._cached(
+            self._exact_cache,
+            (
+                query.candidate_attribute,
+                query.grouping_attribute,
+                query.predicate,
+            ),
+            "ground_truth",
+            lambda: exact_candidate_counts(shuffled.table, query),
+        )
+        target = resolve_target(query.target, exact)
+        if isinstance(query.predicate, TruePredicate):
+            row_filter = None
+        else:
+            row_filter = self._cached(
+                self._filter_cache,
+                (query.predicate, self.block_size, seed),
+                "row_filter",
+                lambda: query.predicate.mask(shuffled.table),
+            )
+        prepared = PreparedQuery(
+            query=query,
+            shuffled=shuffled,
+            index=index,
+            exact_counts=exact,
+            target=target,
+            row_filter=row_filter,
+        )
+        self._prepared_cache[key] = prepared
+        return prepared
+
+    def adopt(self, prepared: PreparedQuery, seed: int = 0) -> None:
+        """Seed the cache with an externally prepared query (e.g. from
+        :func:`repro.data.prepare_workload`), so later submits of the same
+        query reuse its artifacts instead of re-preparing.
+
+        The artifacts must plausibly belong to this session's table and
+        layout — same row count and block size — otherwise the session
+        would silently serve answers for a different dataset."""
+        if prepared.shuffled.num_rows != self.table.num_rows:
+            raise ValueError(
+                f"prepared artifacts cover {prepared.shuffled.num_rows} rows; "
+                f"this session's table has {self.table.num_rows}"
+            )
+        if prepared.shuffled.layout.block_size != self.block_size:
+            raise ValueError(
+                f"prepared artifacts use block_size="
+                f"{prepared.shuffled.layout.block_size}; "
+                f"this session uses {self.block_size}"
+            )
+        self._prepared_cache[(prepared.query, self.block_size, seed)] = prepared
+
+    # -------------------------------------------------------------- execution
+
+    def _make_config(self, query: HistogramQuery, config: HistSimConfig | None) -> HistSimConfig:
+        if config is not None:
+            return config
+        return HistSimConfig(k=query.k, epsilon=0.1, delta=0.01, sigma=0.0)
+
+    def submit(
+        self,
+        query: HistogramQuery,
+        *,
+        approach: str = "fastmatch",
+        config: HistSimConfig | None = None,
+        seed: int = 0,
+        max_step_rows: int | None = None,
+        name: str | None = None,
+        prepared: PreparedQuery | None = None,
+    ) -> None:
+        """Enqueue one query for the next :meth:`run`.
+
+        The query is prepared immediately (hitting the artifact cache), then
+        wrapped in a resumable stepper job; ``max_step_rows`` bounds the rows
+        sampled per scheduler step for finer interleaving.  ``prepared``
+        bypasses and seeds the cache (see :meth:`adopt`).
+        """
+        if approach not in APPROACHES:
+            raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
+        if prepared is None:
+            prepared = self.prepared(query, seed=seed)
+        else:
+            if prepared.query != query:
+                raise ValueError(
+                    "prepared artifacts belong to a different query "
+                    f"({prepared.query.name or prepared.query.candidate_attribute!r} "
+                    f"!= {query.name or query.candidate_attribute!r})"
+                )
+            self.adopt(prepared, seed=seed)
+        config = self._make_config(query, config)
+        job_name = name or query.name or f"query-{self._submitted}"
+        self._submitted += 1
+        if approach == "scan":
+            job = _ScanJob(
+                job_name, prepared, config, self.cost_model, self.clock, self.audit
+            )
+        else:
+            job = _StepperJob(
+                job_name,
+                prepared,
+                approach,
+                config,
+                self.cost_model,
+                self.clock,
+                seed,
+                self.audit,
+                max_step_rows,
+            )
+        self.scheduler.add(job)
+
+    def run(self) -> ScheduleResult:
+        """Drain all submitted queries round-robin on the shared clock."""
+        return self.scheduler.run()
+
+    # ------------------------------------------------------------ conveniences
+
+    def match(
+        self,
+        query: HistogramQuery,
+        *,
+        approach: str = "fastmatch",
+        config: HistSimConfig | None = None,
+        seed: int = 0,
+    ) -> JobOutcome:
+        """Submit and run one query by itself (still hits the artifact cache)."""
+        self.submit(query, approach=approach, config=config, seed=seed)
+        return self.run()[-1]
+
+    def match_many(
+        self,
+        queries,
+        *,
+        approach: str = "fastmatch",
+        config: HistSimConfig | None = None,
+        seed: int = 0,
+        max_step_rows: int | None = None,
+    ) -> ScheduleResult:
+        """Submit a batch of queries and interleave them to completion."""
+        for query in queries:
+            self.submit(
+                query,
+                approach=approach,
+                config=config,
+                seed=seed,
+                max_step_rows=max_step_rows,
+            )
+        return self.run()

@@ -242,6 +242,23 @@ class TestHelperFunctions:
         alive = np.array([True, True])
         np.testing.assert_array_equal(select_matching(tau, alive, 5), [1, 0])
 
+    def test_select_matching_k_equals_alive_count(self):
+        tau = np.array([0.5, 0.1, 0.3, 0.2])
+        alive = np.array([True, False, True, True])
+        np.testing.assert_array_equal(select_matching(tau, alive, 3), [3, 2, 0])
+
+    def test_select_matching_distance_ties_stable_by_index(self):
+        """Definition 3: equal estimates break ties by candidate index."""
+        tau = np.array([0.2, 0.1, 0.2, 0.1, 0.2])
+        alive = np.ones(5, dtype=bool)
+        np.testing.assert_array_equal(select_matching(tau, alive, 3), [1, 3, 0])
+        np.testing.assert_array_equal(select_matching(tau, alive, 5), [1, 3, 0, 2, 4])
+
+    def test_select_matching_no_alive(self):
+        tau = np.array([0.5, 0.1])
+        alive = np.array([False, False])
+        assert select_matching(tau, alive, 2).size == 0
+
     def test_split_point_is_midpoint(self):
         tau = np.array([0.1, 0.2, 0.6, 0.8])
         s = split_point(tau, np.array([0, 1]), np.array([2, 3]))
@@ -250,6 +267,16 @@ class TestHelperFunctions:
     def test_split_point_requires_both_sides(self):
         with pytest.raises(ValueError):
             split_point(np.array([0.1]), np.array([0]), np.array([], dtype=int))
+
+    def test_split_point_requires_nonempty_matching(self):
+        with pytest.raises(ValueError):
+            split_point(np.array([0.1]), np.array([], dtype=int), np.array([0]))
+
+    def test_split_point_with_ties_across_boundary(self):
+        """Equal k-th and (k+1)-th distances: s sits exactly on the tie."""
+        tau = np.array([0.1, 0.3, 0.3, 0.9])
+        s = split_point(tau, np.array([0, 1]), np.array([2, 3]))
+        assert s == pytest.approx(0.3)
 
 
 class TestGuaranteeMonteCarlo:

@@ -1,0 +1,329 @@
+"""Tests for the multi-query serving layer (system/session.py + scheduler.py).
+
+Acceptance properties: a MatchSession interleaving many queries must share
+prepared artifacts (cache hits), report per-query latency on the shared
+clock, and produce per-query results identical to standalone runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MatchSession, match_many
+from repro.core import HistSimConfig
+from repro.core.target import TargetSpec
+from repro.query import Equals, HistogramQuery
+from repro.storage import CategoricalAttribute, ColumnTable, Schema
+from repro.system import PreparedQuery, RoundRobinScheduler, SimulatedClock, run_approach
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(101)
+    n = 100_000
+    candidates, groups = 18, 6
+    z = rng.integers(0, candidates, size=n)
+    x = np.empty(n, dtype=np.int64)
+    for c in range(candidates):
+        mask = z == c
+        base = np.full(groups, 1.0 / groups)
+        if c >= 3:
+            base[c % groups] += 0.7
+            base /= base.sum()
+        x[mask] = rng.choice(groups, size=int(mask.sum()), p=base)
+    schema = Schema(
+        (
+            CategoricalAttribute("product", tuple(f"p{i}" for i in range(candidates))),
+            CategoricalAttribute("age", tuple(f"a{i}" for i in range(groups))),
+            CategoricalAttribute("channel", ("web", "store")),
+        )
+    )
+    return ColumnTable(
+        schema,
+        {"product": z, "age": x, "channel": rng.integers(0, 2, size=n)},
+    )
+
+
+def make_queries(count):
+    """A mix of >= count distinct queries over the fixture table."""
+    queries = [
+        HistogramQuery("product", "age",
+                       target=TargetSpec(kind="closest_to_uniform"), k=3,
+                       name="uniform"),
+        HistogramQuery("product", "age",
+                       target=TargetSpec(kind="candidate", candidate=4), k=2,
+                       name="like-4"),
+        HistogramQuery("product", "age",
+                       target=TargetSpec(kind="candidate", candidate=5), k=2,
+                       name="like-5"),
+        HistogramQuery("product", "channel",
+                       target=TargetSpec(kind="closest_to_uniform"), k=3,
+                       name="channel"),
+    ]
+    out = []
+    i = 0
+    while len(out) < count:
+        base = queries[i % len(queries)]
+        out.append(base)
+        i += 1
+    return out[:count]
+
+
+CONFIG_EPS = 0.15
+
+
+class TestMatchSession:
+    def test_eight_interleaved_queries_match_standalone(self, table):
+        """>= 8 concurrent queries: cache hits, identical per-query results."""
+        queries = make_queries(8)
+        session = MatchSession(table)
+        for query in queries:
+            config = HistSimConfig(k=query.k, epsilon=CONFIG_EPS, delta=0.05, sigma=0.0)
+            session.submit(query, config=config, seed=3)
+        run = session.run()
+
+        assert len(run) == 8
+        assert session.cache_hits > 0
+
+        for outcome, query in zip(run, queries):
+            config = HistSimConfig(k=query.k, epsilon=CONFIG_EPS, delta=0.05, sigma=0.0)
+            prepared = session.prepared(query, seed=3)
+            standalone = run_approach(prepared, "fastmatch", config, seed=3)
+            assert outcome.report.result.matching == standalone.result.matching
+            assert np.array_equal(
+                outcome.report.result.histograms, standalone.result.histograms
+            )
+            assert np.array_equal(
+                outcome.report.result.distances, standalone.result.distances
+            )
+            assert outcome.report.result.stats == standalone.result.stats
+            assert outcome.report.result.rounds == standalone.result.rounds
+            # Service time equals the standalone simulated latency.
+            assert outcome.report.elapsed_ns == pytest.approx(standalone.elapsed_ns)
+
+    def test_artifact_layers_shared(self, table):
+        session = MatchSession(table)
+        for query in make_queries(4):
+            session.submit(query, seed=0)
+        # 4 distinct queries, one shuffle, one index (same Z), three distinct
+        # ground truths (uniform + like-4 + like-5 share one template).
+        assert session.cache_stats.misses["shuffle"] == 1
+        assert session.cache_stats.hits["shuffle"] == 3
+        assert session.cache_stats.misses["index"] == 1
+        assert session.cache_stats.hits["index"] == 3
+        assert session.cache_stats.misses["ground_truth"] == 2
+        assert "shuffle" in session.cache_stats.summary()
+
+    def test_repeated_identical_query_hits_prepared_cache(self, table):
+        session = MatchSession(table)
+        query = make_queries(1)[0]
+        session.prepared(query, seed=1)
+        session.prepared(query, seed=1)
+        assert session.cache_stats.hits["prepared"] == 1
+        # Different seed: new shuffle, but ground truth is reused.
+        session.prepared(query, seed=2)
+        assert session.cache_stats.misses["shuffle"] == 2
+        assert session.cache_stats.hits["ground_truth"] >= 1
+
+    def test_latency_includes_queueing_service_does_not(self, table):
+        queries = make_queries(6)
+        session = MatchSession(table)
+        for query in queries:
+            session.submit(query, seed=2)
+        run = session.run()
+        for outcome in run:
+            assert outcome.latency_ns >= outcome.service_ns > 0
+        # The drain's span covers every query's completion.
+        assert run.elapsed_ns >= max(o.latency_ns for o in run)
+        assert run.throughput_qps > 0
+        assert run.mean_latency_seconds > 0
+
+    def test_audits_attached_and_ok(self, table):
+        session = MatchSession(table)
+        run = session.match_many(make_queries(4), seed=5)
+        for outcome in run:
+            assert outcome.report.audit is not None
+            assert outcome.report.audit.ok
+
+    def test_scan_approach_supported(self, table):
+        session = MatchSession(table)
+        query = make_queries(1)[0]
+        outcome = session.match(query, approach="scan")
+        assert outcome.report.result.exact
+        assert outcome.report.approach == "scan"
+        assert outcome.steps == 1
+
+    def test_unknown_approach_rejected(self, table):
+        session = MatchSession(table)
+        with pytest.raises(ValueError, match="approach"):
+            session.submit(make_queries(1)[0], approach="magic")
+
+    def test_predicate_query_row_filter_cached(self, table):
+        session = MatchSession(table)
+        query = HistogramQuery(
+            "product", "age", target=TargetSpec(kind="closest_to_uniform"),
+            k=2, predicate=Equals("channel", 0), name="web-only",
+        )
+        session.submit(query, seed=1)
+        session.prepared(query, seed=1)
+        assert session.cache_stats.misses["row_filter"] == 1
+        run = session.run()
+        assert run[0].report.audit.ok
+
+    def test_max_step_rows_same_results_more_steps(self, table):
+        queries = make_queries(3)
+        coarse = MatchSession(table)
+        for q in queries:
+            coarse.submit(q, seed=4)
+        coarse_run = coarse.run()
+
+        fine = MatchSession(table)
+        for q in queries:
+            fine.submit(q, seed=4, max_step_rows=1000)
+        fine_run = fine.run()
+
+        for a, b in zip(coarse_run, fine_run):
+            assert a.report.result.matching == b.report.result.matching
+            assert np.array_equal(a.report.result.histograms, b.report.result.histograms)
+            assert a.report.result.stats == b.report.result.stats
+        assert fine_run.total_steps > coarse_run.total_steps
+
+    def test_adopt_external_prepared(self, table):
+        query = make_queries(1)[0]
+        rng = np.random.default_rng(9)
+        prepared = PreparedQuery.prepare(table, query, rng)
+        session = MatchSession(table)
+        session.adopt(prepared, seed=9)
+        assert session.prepared(query, seed=9) is prepared
+
+    def test_submit_rejects_mismatched_prepared(self, table):
+        uniform, like4 = make_queries(2)
+        prepared = PreparedQuery.prepare(table, uniform, np.random.default_rng(9))
+        session = MatchSession(table)
+        with pytest.raises(ValueError, match="different query"):
+            session.submit(like4, prepared=prepared)
+
+
+class TestMatchManyFrontDoor:
+    def test_match_many_results_and_order(self, table):
+        queries = make_queries(5)
+        run = match_many(table, queries, epsilon=CONFIG_EPS, delta=0.05, seed=3)
+        assert len(run) == 5
+        names = [o.name for o in run]
+        assert names[0] == "uniform" and names[3] == "channel"
+        assert set(run[0].report.result.matching) == {0, 1, 2}
+        # k comes from each query, shared tolerances from the call.
+        assert run[1].report.result.k == 2
+
+    def test_match_many_iterates_and_indexes(self, table):
+        run = match_many(table, make_queries(2), epsilon=CONFIG_EPS, seed=1)
+        assert [o.name for o in run] == [run[0].name, run[1].name]
+        assert len(list(run)) == 2
+
+
+class _FakeReport:
+    def __init__(self):
+        self.elapsed_ns = 0.0
+
+
+class _FakeJob:
+    """Deterministic job: charges 1ns per step, finishes after `work` steps."""
+
+    def __init__(self, name, work, clock, log):
+        self.name = name
+        self._work = work
+        self._clock = clock
+        self._log = log
+
+    @property
+    def done(self):
+        return self._work == 0
+
+    def step(self):
+        self._log.append(self.name)
+        self._work -= 1
+        self._clock.charge_serial(io=1.0)
+
+    def finish(self, service_ns):
+        report = _FakeReport()
+        report.elapsed_ns = service_ns
+        return report
+
+
+class TestRoundRobinScheduler:
+    def test_round_robin_interleaving_order(self):
+        clock = SimulatedClock()
+        scheduler = RoundRobinScheduler(clock)
+        log = []
+        scheduler.add(_FakeJob("a", 3, clock, log))
+        scheduler.add(_FakeJob("b", 1, clock, log))
+        scheduler.add(_FakeJob("c", 2, clock, log))
+        result = scheduler.run()
+        # Cycle 1: a b c; cycle 2: a c (b done); cycle 3: a.
+        assert log == ["a", "b", "c", "a", "c", "a"]
+        assert [o.name for o in result] == ["a", "b", "c"]
+        assert result.total_steps == 6
+        assert scheduler.pending == 0
+
+    def test_latency_reflects_interleaving(self):
+        clock = SimulatedClock()
+        scheduler = RoundRobinScheduler(clock)
+        log = []
+        scheduler.add(_FakeJob("a", 2, clock, log))
+        scheduler.add(_FakeJob("b", 2, clock, log))
+        result = scheduler.run()
+        a, b = result
+        # b finishes last: at 4ns; a at 3ns.  Both submitted at 0.
+        assert a.finished_ns == 3.0 and b.finished_ns == 4.0
+        assert a.latency_ns == 3.0 and b.latency_ns == 4.0
+        assert a.service_ns == 2.0 and b.service_ns == 2.0
+        assert result.elapsed_ns == 4.0
+
+    def test_empty_drain(self):
+        scheduler = RoundRobinScheduler(SimulatedClock())
+        result = scheduler.run()
+        assert len(result) == 0
+        assert result.mean_latency_seconds == 0.0
+        assert result.throughput_qps == 0.0
+
+    def test_repeated_drains_never_double_report(self):
+        clock = SimulatedClock()
+        scheduler = RoundRobinScheduler(clock)
+        log = []
+        scheduler.add(_FakeJob("a", 2, clock, log))
+        first = scheduler.run()
+        assert [o.name for o in first] == ["a"]
+        scheduler.add(_FakeJob("b", 1, clock, log))
+        second = scheduler.run()
+        # Only the newly completed job is reported, with its own drain span.
+        assert [o.name for o in second] == ["b"]
+        assert second.elapsed_ns == 1.0
+        assert scheduler.run().outcomes == ()
+
+
+class TestPreparedQueryReuse:
+    """Satellite: prepared-artifact reuse yields identical MatchResults."""
+
+    def test_repeated_run_approach_identical(self, table):
+        query = make_queries(1)[0]
+        prepared = PreparedQuery.prepare(table, query, np.random.default_rng(11))
+        config = HistSimConfig(k=3, epsilon=CONFIG_EPS, delta=0.05, sigma=0.0)
+        first = run_approach(prepared, "fastmatch", config, seed=6)
+        second = run_approach(prepared, "fastmatch", config, seed=6)
+        assert first.result.matching == second.result.matching
+        assert np.array_equal(first.result.histograms, second.result.histograms)
+        assert np.array_equal(first.result.distances, second.result.distances)
+        assert first.result.stats == second.result.stats
+        assert first.result.rounds == second.result.rounds
+        assert first.elapsed_ns == second.elapsed_ns
+
+    def test_reuse_across_approaches_same_substrate(self, table):
+        """One PreparedQuery serves every approach on identical artifacts."""
+        query = make_queries(1)[0]
+        prepared = PreparedQuery.prepare(table, query, np.random.default_rng(12))
+        config = HistSimConfig(k=3, epsilon=0.2, delta=0.05, sigma=0.0)
+        results = {
+            approach: run_approach(prepared, approach, config, seed=2)
+            for approach in ("scanmatch", "syncmatch", "fastmatch")
+        }
+        for report in results.values():
+            assert report.audit is not None and report.audit.ok

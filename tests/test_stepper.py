@@ -1,0 +1,223 @@
+"""Tests for the resumable HistSim stepper (core/histsim.py state machine).
+
+The load-bearing property: step-driven execution is *identical* to
+run-to-completion execution — same samples, same tests, same result — for
+any step granularity, because the stepper calls the same stage methods in
+the same order over a sampler that consumes a fixed scan order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArraySampler,
+    HistSim,
+    HistSimConfig,
+    HistSimStepper,
+    run_histsim,
+)
+from repro.core.histsim import Done, Stage1, Stage2Round, Stage3
+
+
+def synth_population(rng, sizes, distributions):
+    z_parts, x_parts = [], []
+    for i, (size, dist) in enumerate(zip(sizes, distributions)):
+        z_parts.append(np.full(size, i, dtype=np.int64))
+        x_parts.append(rng.choice(len(dist), size=size, p=dist))
+    return np.concatenate(z_parts), np.concatenate(x_parts)
+
+
+def tilted(base, group, amount):
+    out = np.array(base, dtype=float)
+    out[group] += amount
+    return out / out.sum()
+
+
+@pytest.fixture
+def population():
+    """20 candidates, 8 groups; 3 near the target, the rest far."""
+    rng = np.random.default_rng(1234)
+    groups = 8
+    target = np.full(groups, 1.0 / groups)
+    dists = []
+    for i in range(20):
+        if i < 3:
+            dists.append(tilted(target, i, 0.02))
+        else:
+            dists.append(tilted(target, i % groups, 0.9))
+    z, x = synth_population(rng, [12_000] * 20, dists)
+    return z, x, 20, groups, target
+
+
+CONFIG = HistSimConfig(k=3, epsilon=0.12, delta=0.05, sigma=0.0, stage1_samples=5000)
+
+
+def make_sampler(population, seed=7):
+    z, x, candidates, groups, _ = population
+    return ArraySampler(z, x, candidates, groups, np.random.default_rng(seed))
+
+
+def assert_results_identical(a, b):
+    """Byte-level equality of two MatchResults."""
+    assert a.matching == b.matching
+    assert np.array_equal(a.histograms, b.histograms)
+    assert np.array_equal(a.distances, b.distances)
+    assert a.pruned == b.pruned
+    assert a.exact == b.exact
+    assert a.stats == b.stats
+    assert a.rounds == b.rounds
+
+
+class TestStepRunEquivalence:
+    def test_step_driven_matches_run(self, population):
+        target = population[-1]
+        via_run = HistSim(make_sampler(population), target, CONFIG).run()
+
+        stepper = HistSimStepper(make_sampler(population), target, CONFIG)
+        while not stepper.done:
+            stepper.step()
+        assert_results_identical(stepper.result, via_run)
+
+    @pytest.mark.parametrize("max_step_rows", [200, 1000, 7919, 100_000])
+    def test_bounded_steps_match_run(self, population, max_step_rows):
+        """Splitting a round's sampling across steps changes nothing."""
+        target = population[-1]
+        via_run = HistSim(make_sampler(population), target, CONFIG).run()
+
+        stepper = HistSimStepper(
+            make_sampler(population), target, CONFIG, max_step_rows=max_step_rows
+        )
+        result = stepper.run_to_completion()
+        assert_results_identical(result, via_run)
+
+    def test_smaller_bound_takes_more_steps(self, population):
+        target = population[-1]
+        coarse = HistSimStepper(make_sampler(population), target, CONFIG)
+        coarse.run_to_completion()
+        fine = HistSimStepper(
+            make_sampler(population), target, CONFIG, max_step_rows=200
+        )
+        fine.run_to_completion()
+        assert fine.steps_taken > coarse.steps_taken
+
+    def test_run_histsim_unchanged(self, population):
+        """The convenience wrapper drives the same machinery."""
+        target = population[-1]
+        a = run_histsim(make_sampler(population), target, CONFIG)
+        b = HistSim(make_sampler(population), target, CONFIG).run()
+        assert_results_identical(a, b)
+
+
+class TestStateMachine:
+    def test_stage_progression(self, population):
+        target = population[-1]
+        stepper = HistSimStepper(make_sampler(population), target, CONFIG)
+        assert isinstance(stepper.stage, Stage1)
+        assert stepper.stage_name == "stage1"
+
+        report = stepper.step()
+        assert report.stage == "stage1"
+        assert report.fresh_rows > 0
+        assert isinstance(stepper.stage, Stage2Round)
+        assert stepper.stage.round_index == 1
+        assert stepper.stage.delta_upper == pytest.approx(CONFIG.stage_delta / 2)
+
+        seen = [stepper.stage_name]
+        while not stepper.done:
+            stepper.step()
+            seen.append(stepper.stage_name)
+        # Stages only move forward: stage2* then stage3 then done.
+        assert seen[-1] == "done"
+        assert seen[-2] == "stage3"
+        order = {"stage2": 0, "stage3": 1, "done": 2}
+        ranks = [order[s] for s in seen]
+        assert ranks == sorted(ranks)
+
+    def test_final_step_reports_done(self, population):
+        target = population[-1]
+        stepper = HistSimStepper(make_sampler(population), target, CONFIG)
+        reports = []
+        while not stepper.done:
+            reports.append(stepper.step())
+        assert reports[-1].done
+        assert all(not r.done for r in reports[:-1])
+        assert stepper.steps_taken == len(reports)
+
+    def test_result_before_done_raises(self, population):
+        target = population[-1]
+        stepper = HistSimStepper(make_sampler(population), target, CONFIG)
+        with pytest.raises(RuntimeError, match="no result yet"):
+            stepper.result
+
+    def test_step_after_done_raises(self, population):
+        target = population[-1]
+        stepper = HistSimStepper(make_sampler(population), target, CONFIG)
+        stepper.run_to_completion()
+        assert isinstance(stepper.stage, Done)
+        with pytest.raises(RuntimeError, match="already done"):
+            stepper.step()
+
+    def test_degenerate_alive_skips_stage2(self):
+        """With |candidates| <= k, the machine goes stage1 -> stage3."""
+        rng = np.random.default_rng(31)
+        z, x = synth_population(rng, [1000] * 3, [np.array([0.5, 0.5])] * 3)
+        sampler = ArraySampler(z, x, 3, 2, np.random.default_rng(32))
+        config = HistSimConfig(k=5, epsilon=0.2, delta=0.05, sigma=0.0)
+        stepper = HistSimStepper(sampler, np.array([0.5, 0.5]), config)
+        stepper.step()
+        assert isinstance(stepper.stage, Stage3)
+        result = stepper.run_to_completion()
+        assert len(result.matching) == 3
+        assert result.stats.rounds == 0
+
+    def test_wrapping_existing_algorithm(self, population):
+        target = population[-1]
+        algo = HistSim(make_sampler(population), target, CONFIG)
+        stepper = HistSimStepper(algorithm=algo)
+        result = stepper.run_to_completion()
+        assert result.matching == tuple(sorted(result.matching, key=lambda c: list(result.matching).index(c)))
+        assert algo.rounds  # the wrapped instance did the work
+
+    def test_constructor_validation(self, population):
+        target = population[-1]
+        algo = HistSim(make_sampler(population), target, CONFIG)
+        with pytest.raises(ValueError, match="not both"):
+            HistSimStepper(make_sampler(population), target, algorithm=algo)
+        with pytest.raises(ValueError, match="not both"):
+            HistSimStepper(algorithm=algo, stats_cost=lambda stage, ops: None)
+        with pytest.raises(ValueError, match="provide a sampler"):
+            HistSimStepper()
+        with pytest.raises(ValueError, match="max_step_rows"):
+            HistSimStepper(make_sampler(population), target, CONFIG, max_step_rows=0)
+
+
+class TestIncrementalSampling:
+    """sample_until(max_rows=...) — the substrate the stepper relies on."""
+
+    def test_array_sampler_incremental_identical(self, population):
+        z, x, candidates, groups, _ = population
+        whole = ArraySampler(z, x, candidates, groups, np.random.default_rng(5))
+        split = ArraySampler(z, x, candidates, groups, np.random.default_rng(5))
+
+        needed = np.full(candidates, 300.0)
+        full = whole.sample_until(needed)
+
+        total = np.zeros_like(full)
+        remaining = needed.copy()
+        while True:
+            fresh = split.sample_until(remaining, max_rows=500)
+            total += fresh
+            remaining = np.maximum(remaining - fresh.sum(axis=1), 0.0)
+            if fresh.sum() < 500:
+                break
+        assert np.array_equal(total, full)
+        assert np.array_equal(whole.delivered_rows(), split.delivered_rows())
+
+    def test_max_rows_bounds_delivery(self, population):
+        z, x, candidates, groups, _ = population
+        sampler = ArraySampler(
+            z, x, candidates, groups, np.random.default_rng(5), batch_size=100
+        )
+        fresh = sampler.sample_until(np.full(candidates, 10_000.0), max_rows=250)
+        # Delivery stops at the first batch boundary at/after the bound.
+        assert 250 <= fresh.sum() <= 250 + 100
