@@ -1,0 +1,236 @@
+"""Parallel scaling: sharded-backend speedup vs worker count.
+
+Unlike the paper-reproduction benchmarks (which report *simulated* latency
+from the cost model), this benchmark measures **real wall-clock time** of
+the counting work the sharded backend parallelizes: full
+uniform-without-replacement passes over a shuffled table, i.e. the gather +
+filter + bincount pipeline that dominates sampling cost at scale.  Two
+datasets are swept — a 10M-row synthetic built straight from
+``repro.data.generator`` and the TAXI evaluation dataset — across worker
+counts, verifying on every run that the sharded counts are byte-identical
+to serial.
+
+Results go to ``benchmarks/results/parallel_scaling.json`` (including each
+run's backend descriptor) and a text table.
+
+Speedup requires physical cores: on a single-core machine the sharded
+backend can only add IPC overhead, and the report will say so.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from common import RESULTS_DIR, format_table, save_report
+from repro.bitmap.builder import build_bitmap_index
+from repro.data import load_dataset, sizes_from_weights, zipf_weights
+from repro.data.generator import conditional_column, jittered
+from repro.parallel import ExecutionBackend, SerialBackend, ShardedBackend
+from repro.parallel.sharded import DEFAULT_MIN_SHARD_ROWS
+from repro.sampling.engine import BlockSamplingEngine
+from repro.sampling.policies import ScanAllPolicy
+from repro.storage.cost_model import DEFAULT_COST_MODEL
+from repro.storage.schema import CategoricalAttribute, Schema
+from repro.storage.shuffle import shuffle_table
+from repro.storage.table import ColumnTable
+from repro.system.clock import SimulatedClock
+
+GENERATOR_CANDIDATES = 64
+GENERATOR_GROUPS = 24
+
+
+def generator_table(rows: int, seed: int) -> ColumnTable:
+    """A synthetic (z, x) table built directly from the generator helpers."""
+    rng = np.random.default_rng(seed)
+    sizes = sizes_from_weights(
+        zipf_weights(GENERATOR_CANDIDATES, alpha=1.0), rows, rng
+    )
+    base = np.full(GENERATOR_GROUPS, 1.0 / GENERATOR_GROUPS)
+    distributions = np.stack(
+        [jittered(base, concentration=50.0, rng=rng) for _ in range(sizes.size)]
+    )
+    z = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+    x = conditional_column(sizes, distributions, rng)
+    schema = Schema(
+        (
+            CategoricalAttribute(
+                "z", tuple(f"Z{i:03d}" for i in range(GENERATOR_CANDIDATES))
+            ),
+            CategoricalAttribute(
+                "x", tuple(f"X{i:03d}" for i in range(GENERATOR_GROUPS))
+            ),
+        )
+    )
+    return ColumnTable(schema, {"z": z, "x": x})
+
+
+def counting_pass(
+    shuffled, z_name: str, x_name: str, index, window_blocks: int,
+    backend: ExecutionBackend,
+) -> tuple[float, np.ndarray]:
+    """One full sampling pass (every row delivered); returns (seconds, counts)."""
+    engine = BlockSamplingEngine(
+        shuffled=shuffled,
+        candidate_attribute=z_name,
+        grouping_attribute=x_name,
+        index=index,
+        cost_model=DEFAULT_COST_MODEL,
+        clock=SimulatedClock(),
+        policy=ScanAllPolicy(),
+        window_blocks=window_blocks,
+        start_block=0,
+        backend=backend,
+    )
+    budgets = np.full(engine.num_candidates, np.inf)
+    start = time.perf_counter()
+    counts = engine.sample_until(budgets)
+    return time.perf_counter() - start, counts
+
+
+def bench_dataset(
+    name: str,
+    table: ColumnTable,
+    z_name: str,
+    x_name: str,
+    args: argparse.Namespace,
+) -> dict:
+    """Sweep worker counts on one dataset; verify identity; return results."""
+    shuffled = shuffle_table(table, args.block_size, np.random.default_rng(11))
+    index = build_bitmap_index(shuffled, z_name)
+    window_blocks = max(1, shuffled.num_blocks // args.windows_per_pass)
+
+    def measure(backend: ExecutionBackend) -> tuple[float, np.ndarray]:
+        seconds, counts = [], None
+        for _ in range(args.passes):
+            elapsed, counts = counting_pass(
+                shuffled, z_name, x_name, index, window_blocks, backend
+            )
+            seconds.append(elapsed)
+        return min(seconds), counts
+
+    serial_s, serial_counts = measure(SerialBackend())
+    runs = []
+    for workers in args.workers:
+        backend = ShardedBackend(workers, min_shard_rows=args.min_shard_rows)
+        try:
+            sharded_s, sharded_counts = measure(backend)
+            identical = bool(np.array_equal(serial_counts, sharded_counts))
+            runs.append(
+                {
+                    "workers": workers,
+                    "seconds": sharded_s,
+                    "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+                    "identical_to_serial": identical,
+                    "backend": backend.describe(),
+                }
+            )
+        finally:
+            backend.close()
+    return {
+        "dataset": name,
+        "rows": table.num_rows,
+        "blocks": shuffled.num_blocks,
+        "block_size": args.block_size,
+        "passes": args.passes,
+        "serial_seconds": serial_s,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=10_000_000,
+                        help="generator dataset rows (default 10M)")
+    parser.add_argument("--taxi-rows", type=int, default=None,
+                        help="taxi dataset rows (default min(rows, 2M))")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to sweep")
+    parser.add_argument("--block-size", type=int, default=4096,
+                        help="tuples per block (larger than the simulation "
+                             "default: real counting throughput, not block "
+                             "mechanics, is under test)")
+    parser.add_argument("--passes", type=int, default=3,
+                        help="passes per configuration (best-of)")
+    parser.add_argument("--windows-per-pass", type=int, default=8,
+                        help="windows one pass is split into")
+    parser.add_argument("--min-shard-rows", type=int, default=None,
+                        help="override the sharded backend's inline-fallback "
+                             "threshold")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: small data, forced pool usage")
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        args.rows = 40_000
+        args.taxi_rows = 350_000  # the TAXI builder's minimum scale
+        args.workers = [1, 2]
+        args.block_size = 512
+        args.passes = 1
+        # Force every window through the pool so CI exercises the real path.
+        args.min_shard_rows = 0
+    if args.min_shard_rows is None:
+        args.min_shard_rows = DEFAULT_MIN_SHARD_ROWS
+    if args.taxi_rows is None:
+        args.taxi_rows = min(args.rows, 2_000_000)
+
+    datasets = [
+        ("generator", generator_table(args.rows, seed=7), "z", "x"),
+        ("taxi", load_dataset("taxi", rows=args.taxi_rows, seed=7).table,
+         "location", "hour_of_day"),
+    ]
+
+    results = {
+        "cpu_count": os.cpu_count(),
+        "tiny": args.tiny,
+        "datasets": [],
+    }
+    rows_out = []
+    all_identical = True
+    for name, table, z_name, x_name in datasets:
+        entry = bench_dataset(name, table, z_name, x_name, args)
+        results["datasets"].append(entry)
+        rows_out.append(
+            [name, f"{entry['rows']:,}", "serial", f"{entry['serial_seconds']:.3f}",
+             "1.00x", "-"]
+        )
+        for run in entry["runs"]:
+            all_identical &= run["identical_to_serial"]
+            rows_out.append(
+                [name, f"{entry['rows']:,}", f"sharded({run['workers']}w)",
+                 f"{run['seconds']:.3f}", f"{run['speedup']:.2f}x",
+                 "yes" if run["identical_to_serial"] else "NO"]
+            )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_scaling.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    note = (
+        f"cpu_count={os.cpu_count()}"
+        + ("  (single core: sharding can only add overhead here)"
+           if (os.cpu_count() or 1) < 2 else "")
+    )
+    table_text = format_table(
+        f"Parallel scaling — wall-clock counting passes ({note})",
+        ["dataset", "rows", "backend", "best s", "speedup", "identical"],
+        rows_out,
+    )
+    save_report("parallel_scaling", table_text)
+    if not all_identical:
+        print("ERROR: sharded counts diverged from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Subpackages:
 - :mod:`repro.storage` — column-store, block layout, simulated I/O and costs.
 - :mod:`repro.bitmap` — bit-per-block bitmap indexes and density maps.
 - :mod:`repro.sampling` — block-selection policies and the sampling engine.
+- :mod:`repro.parallel` — execution backends: serial and sharded
+  (shared-memory worker pool) with byte-identical results.
 - :mod:`repro.system` — the FastMatch architecture and baselines.
 - :mod:`repro.query` — histogram-generating query templates and exact executor.
 - :mod:`repro.data` — synthetic FLIGHTS / TAXI / POLICE datasets and workloads.
@@ -15,8 +17,9 @@ Subpackages:
 
 __version__ = "1.0.0"
 
-from . import bitmap, core, data, extensions, query, sampling, storage, system
+from . import bitmap, core, data, extensions, parallel, query, sampling, storage, system
 from .match import match_histograms, match_many
+from .parallel import ExecutionBackend, SerialBackend, ShardedBackend, make_backend
 from .system.session import MatchSession
 
 __all__ = [
@@ -24,12 +27,17 @@ __all__ = [
     "core",
     "data",
     "extensions",
+    "parallel",
     "query",
     "sampling",
     "storage",
     "system",
     "match_histograms",
     "match_many",
+    "make_backend",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ShardedBackend",
     "MatchSession",
     "__version__",
 ]

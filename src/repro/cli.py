@@ -13,6 +13,13 @@ shared across queries and execution is interleaved on one simulated clock):
 
 Prints per-query latency/service time, aggregate throughput, and the
 artifact-cache hit profile.
+
+Sharded parallel execution (``--backend sharded --workers N``) fans each
+window's block counting out to a persistent pool of shared-memory worker
+processes; results are byte-identical to the serial backend:
+
+    python -m repro --query taxi-q1 --backend sharded --workers 4
+    python -m repro serve --queries taxi-q1 taxi-q2 --backend sharded
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import sys
 
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
+from .parallel import BACKENDS, make_backend
 from .system import APPROACHES, MatchSession, run_approach
 from .system.visualize import render_result
 
@@ -59,6 +67,14 @@ def _add_batch_arguments(sub: argparse.ArgumentParser) -> None:
         "--max-step-rows", type=_positive_int, default=None,
         help="bound rows sampled per scheduler step (finer interleaving)",
     )
+    sub.add_argument(
+        "--backend", choices=BACKENDS, default=argparse.SUPPRESS,
+        help="execution backend for sampling (default: serial)",
+    )
+    sub.add_argument(
+        "--workers", type=_positive_int, default=argparse.SUPPRESS,
+        help="worker processes for --backend sharded (default: CPU count)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--no-render", action="store_true",
                         help="skip the ASCII visualization panels")
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="execution backend for sampling approaches (default: serial; "
+             "'sharded' fans block counting out to a worker-process pool "
+             "with byte-identical results)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker processes for --backend sharded (default: CPU count)",
+    )
 
     subparsers = parser.add_subparsers(dest="command")
     batch = subparsers.add_parser(
@@ -108,14 +134,23 @@ def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     )
 
     scan = run_approach(prepared, "scan", config, seed=args.seed)
-    report = (
-        scan if args.approach == "scan"
-        else run_approach(prepared, args.approach, config, seed=args.seed)
-    )
+    if args.approach == "scan":
+        report = scan
+    else:
+        backend = make_backend(args.backend, args.workers)
+        try:
+            report = run_approach(
+                prepared, args.approach, config, seed=args.seed, backend=backend
+            )
+        finally:
+            backend.close()
 
     print(f"query      : {args.query}  (Z={prepared.query.candidate_attribute}, "
           f"X={prepared.query.grouping_attribute}, k={k})")
     print(f"approach   : {args.approach}")
+    print(f"backend    : {report.backend}"
+          + (f" ({args.workers or 'auto'} workers)"
+             if report.backend == "sharded" else ""))
     print(f"rows       : {prepared.shuffled.num_rows:,} "
           f"({prepared.shuffled.num_blocks:,} blocks)")
     print(f"latency    : {report.elapsed_seconds * 1e3:.2f} ms simulated "
@@ -161,30 +196,38 @@ def _run_batch(args: argparse.Namespace) -> int:
     total_elapsed = 0.0
     for dataset_name, query_names in by_dataset.items():
         dataset = load_dataset(dataset_name, rows=args.rows, seed=args.seed)
-        session = MatchSession(dataset.table)
-        for query_name in query_names:
-            _, query = workload_query(query_name)
-            k = args.k if args.k is not None else query.k
-            config = HistSimConfig(
-                k=k, epsilon=args.epsilon, delta=args.delta,
-                sigma=args.sigma,
-                stage1_samples=min(50_000, max(1, args.rows // 20)),
-            )
-            # Repeats share one seed so they hit the prepared-artifact cache
-            # (one shuffle/index for the whole batch) — the point of --repeat.
-            for repeat in range(args.repeat):
-                session.submit(
-                    query,
-                    approach=args.approach,
-                    config=config,
-                    seed=args.seed,
-                    max_step_rows=args.max_step_rows,
-                    name=f"{query_name}" + (f"#{repeat}" if args.repeat > 1 else ""),
+        # One session (and thus one worker pool / shared-memory store for the
+        # sharded backend) serves the dataset's whole batch.
+        with MatchSession(
+            dataset.table, backend=args.backend, workers=args.workers
+        ) as session:
+            for query_name in query_names:
+                _, query = workload_query(query_name)
+                k = args.k if args.k is not None else query.k
+                config = HistSimConfig(
+                    k=k, epsilon=args.epsilon, delta=args.delta,
+                    sigma=args.sigma,
+                    stage1_samples=min(50_000, max(1, args.rows // 20)),
                 )
-        run = session.run()
+                # Repeats share one seed so they hit the prepared-artifact cache
+                # (one shuffle/index for the whole batch) — the point of --repeat.
+                for repeat in range(args.repeat):
+                    session.submit(
+                        query,
+                        approach=args.approach,
+                        config=config,
+                        seed=args.seed,
+                        max_step_rows=args.max_step_rows,
+                        name=f"{query_name}" + (f"#{repeat}" if args.repeat > 1 else ""),
+                    )
+            run = session.run()
 
+        backend_desc = ", ".join(
+            f"{key}={value}" for key, value in (run.backend or {}).items()
+        )
         print(f"dataset    : {dataset_name}  ({dataset.table.num_rows:,} rows, "
               f"{len(run)} queries, approach={args.approach})")
+        print(f"  backend    : {backend_desc or 'serial'}")
         for outcome in run:
             audit = outcome.report.audit
             guarantees = (
@@ -212,6 +255,14 @@ def _run_batch(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.workers is not None and args.backend != "sharded":
+        parser.error("--workers requires --backend sharded")
+    if args.backend != "serial" and args.approach == "scan":
+        parser.error(
+            "--backend sharded has no effect on the exact scan baseline; "
+            "pick a sampling approach"
+        )
 
     if getattr(args, "command", None) == "batch":
         return _run_batch(args)

@@ -37,6 +37,7 @@ from typing import Callable, Sequence, Union
 
 import numpy as np
 
+from ..parallel.backend import ExecutionBackend, SerialBackend
 from .config import HistSimConfig
 from .deviation import (
     deviation_log_pvalue,
@@ -121,6 +122,11 @@ class HistSim:
         ``k``, ``ε``, ``δ``, ``σ`` and system knobs.
     stats_cost:
         Optional hook charging statistics-engine work to a simulated clock.
+    backend:
+        The :class:`~repro.parallel.ExecutionBackend` every sampling request
+        routes through (default: serial pass-through).  The algorithm's
+        decisions are backend-independent by construction — backends only
+        change *how* the same counts are produced.
     """
 
     def __init__(
@@ -129,6 +135,7 @@ class HistSim:
         target: np.ndarray,
         config: HistSimConfig,
         stats_cost: StatsCostHook | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         target = np.asarray(target, dtype=np.float64)
         if target.ndim != 1 or target.shape[0] != sampler.num_groups:
@@ -140,6 +147,7 @@ class HistSim:
         self.sampler = sampler
         self.target = target
         self.config = config
+        self.backend = backend or SerialBackend()
         self._stats_cost = stats_cost or (lambda stage, ops: None)
         self.state = CandidateState(
             sampler.num_candidates, sampler.num_groups, sampler.candidate_rows()
@@ -171,7 +179,7 @@ class HistSim:
         cfg = self.config
         n_total = self.sampler.total_rows
         m = cfg.effective_stage1_samples(n_total)
-        counts = self.sampler.sample_uniform(m)
+        counts = self.backend.run_uniform(self.sampler, m)
         observed = counts.sum(axis=1)
         self.state.counts += counts
         self.state.samples += observed
@@ -333,7 +341,7 @@ class HistSim:
         """Safety valve after ``max_rounds``: exhaust the data, which is
         always correct, and return the exact top-k."""
         self.state.fold_round_into_cumulative()
-        self.sampler.sample_until(np.full(self.alive.size, np.inf))
+        self.backend.run_sampling(self.sampler, np.full(self.alive.size, np.inf))
         self.state.fold_round_into_cumulative()
         tau = self.state.distances(self.target)
         return select_matching(tau, self.alive, self.config.k)
@@ -347,7 +355,7 @@ class HistSim:
         for round_index in range(1, self.config.max_rounds + 1):
             delta_upper /= 2.0
             plan = self.begin_round(round_index, delta_upper)
-            fresh = self.sampler.sample_until(plan.budgets)
+            fresh = self.backend.run_sampling(self.sampler, plan.budgets)
             self.state.record_round_counts(fresh)
             matching = self.finish_round(plan, int(fresh.sum()))
             if matching is not None:
@@ -368,7 +376,7 @@ class HistSim:
         """Reconstruct every matching candidate to ε accuracy (line 26)."""
         needed = self.stage3_needed(matching)
         if np.any(needed > 0):
-            fresh = self.sampler.sample_until(needed)
+            fresh = self.backend.run_sampling(self.sampler, needed)
             self.state.record_round_counts(fresh)
             self.state.fold_round_into_cumulative()
         self._stats_cost("stage3", int(matching.size) * self.sampler.num_groups)
@@ -484,7 +492,7 @@ class HistSimStepper:
 
     Parameters
     ----------
-    sampler, target, config, stats_cost:
+    sampler, target, config, stats_cost, backend:
         Forwarded to :class:`HistSim` when no ``algorithm`` is given.
     algorithm:
         An existing :class:`HistSim` to drive (mutually exclusive with the
@@ -507,6 +515,7 @@ class HistSimStepper:
         *,
         algorithm: HistSim | None = None,
         max_step_rows: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if algorithm is None:
             if sampler is None or target is None:
@@ -516,12 +525,14 @@ class HistSimStepper:
                 np.asarray(target, dtype=np.float64),
                 config or HistSimConfig(),
                 stats_cost,
+                backend,
             )
         elif (
             sampler is not None
             or target is not None
             or config is not None
             or stats_cost is not None
+            or backend is not None
         ):
             raise ValueError(
                 "pass either an existing algorithm or constructor arguments, not both"
@@ -579,11 +590,13 @@ class HistSimStepper:
         return self.result
 
     def _sample(self, needed: np.ndarray) -> np.ndarray:
-        """One sampler call, bounded by ``max_step_rows`` when configured."""
+        """One sampling request through the algorithm's execution backend,
+        bounded by ``max_step_rows`` when configured."""
+        algo = self.algorithm
         if self.max_step_rows is None:
-            return self.algorithm.sampler.sample_until(needed)
-        return self.algorithm.sampler.sample_until(
-            needed, max_rows=self.max_step_rows
+            return algo.backend.run_sampling(algo.sampler, needed)
+        return algo.backend.run_sampling(
+            algo.sampler, needed, max_rows=self.max_step_rows
         )
 
     def _slice_complete(self, fresh_rows: int) -> bool:

@@ -19,6 +19,7 @@ import numpy as np
 
 from .core.config import HistSimConfig
 from .core.target import TargetSpec
+from .parallel import ExecutionBackend, make_backend
 from .query.predicate import Predicate, TruePredicate
 from .query.spec import HistogramQuery
 from .storage.table import ColumnTable
@@ -58,6 +59,8 @@ def match_histograms(
     seed: int = 0,
     block_size: int = DEFAULT_BLOCK_SIZE,
     audit: bool = True,
+    backend: str | ExecutionBackend = "serial",
+    workers: int | None = None,
 ) -> RunReport:
     """Find the top-k candidates whose histograms best match a target.
 
@@ -83,6 +86,11 @@ def match_histograms(
     audit:
         Verify the guarantees against exact ground truth (cheap here, since
         preparation computes it anyway).
+    backend, workers:
+        Execution backend (``"serial"``/``"sharded"`` or an instance) and
+        its worker count.  Results are identical across backends; a backend
+        created here is closed before returning, while a passed-in instance
+        stays open for reuse.
 
     Returns
     -------
@@ -102,7 +110,15 @@ def match_histograms(
     config = HistSimConfig(k=k, epsilon=epsilon, delta=delta, sigma=sigma)
     rng = np.random.default_rng(seed)
     prepared = PreparedQuery.prepare(table, query, rng, block_size=block_size)
-    return run_approach(prepared, approach, config, seed=seed, audit=audit)
+    owns_backend = not isinstance(backend, ExecutionBackend)
+    resolved = make_backend(backend, workers)
+    try:
+        return run_approach(
+            prepared, approach, config, seed=seed, audit=audit, backend=resolved
+        )
+    finally:
+        if owns_backend:
+            resolved.close()
 
 
 def match_many(
@@ -117,6 +133,8 @@ def match_many(
     block_size: int = DEFAULT_BLOCK_SIZE,
     audit: bool = True,
     max_step_rows: int | None = None,
+    backend: str | ExecutionBackend = "serial",
+    workers: int | None = None,
 ) -> ScheduleResult:
     """Run a batch of histogram-matching queries through one shared session.
 
@@ -136,6 +154,10 @@ def match_many(
         As in :func:`match_histograms`, applied to every query.
     max_step_rows:
         Optional per-step row bound for finer interleaving granularity.
+    backend, workers:
+        Execution backend shared by every query in the batch (the sharded
+        backend's worker pool is spawned once and reused).  A backend
+        created here is closed before returning.
 
     Returns
     -------
@@ -145,17 +167,23 @@ def match_many(
     is the queue latency on the shared clock), plus aggregate
     ``.throughput_qps`` and ``.elapsed_seconds``.
     """
-    session = MatchSession(table, block_size=block_size, audit=audit)
+    session = MatchSession(
+        table, block_size=block_size, audit=audit, backend=backend, workers=workers
+    )
     configs = [
         HistSimConfig(k=query.k, epsilon=epsilon, delta=delta, sigma=sigma)
         for query in queries
     ]
-    for query, config in zip(queries, configs):
-        session.submit(
-            query,
-            approach=approach,
-            config=config,
-            seed=seed,
-            max_step_rows=max_step_rows,
-        )
-    return session.run()
+    try:
+        for query, config in zip(queries, configs):
+            session.submit(
+                query,
+                approach=approach,
+                config=config,
+                seed=seed,
+                max_step_rows=max_step_rows,
+            )
+        return session.run()
+    finally:
+        # Ownership-aware: a no-op when the caller passed their own backend.
+        session.close()

@@ -1,0 +1,83 @@
+"""Sharded parallel execution backends (scaling beyond one core).
+
+The paper's FastMatch overlaps block selection with I/O on a single core;
+this package scales the other axis — the per-window counting work — across
+worker processes.  The design preserves the serial path's exact semantics:
+
+- the *coordinator* (the sampling engine driving HistSim) keeps the serial
+  control flow: one scan order, one window sequence, one set of policy
+  decisions and budgets;
+- only the counting of each window's delivered blocks is sharded: a
+  :class:`ShardPlanner` partitions the blocks into per-worker shards, a
+  persistent :class:`WorkerPool` counts each shard against columns published
+  in :class:`multiprocessing.shared_memory` (zero-copy for workers), and a
+  :class:`ShardMerger` sums the per-shard count matrices.
+
+Because the shards partition the *same* rows the serial path would count,
+and integer addition is exact and commutative, the merged
+``(candidate × group)`` counts are byte-identical to serial execution — so
+every downstream statistical decision (stage-2 tests, stage-3 targets, the
+chosen top-k, the stopping round) is identical too.  Per-shard samples also
+remain uniform without replacement: a shard is a fixed subset of blocks of
+the *shuffled* layout, and any fixed subset of a random permutation is a
+uniform without-replacement sample.
+
+:class:`ExecutionBackend` is the seam all sampling routes through;
+:class:`SerialBackend` reproduces today's single-process behaviour exactly,
+:class:`ShardedBackend` is the opt-in parallel implementation, and
+:func:`make_backend` resolves a CLI/config spec into an instance.
+"""
+
+from .backend import CountSource, ExecutionBackend, SerialBackend, count_pairs
+from .merge import ShardMerger
+from .pool import WorkerPool
+from .shard import Shard, ShardPlanner
+from .sharded import ShardedBackend
+from .shm import SegmentRef, SharedMemoryStore, attach_segment
+from .worker import ShardResult, ShardTask, count_shard
+
+__all__ = [
+    "BACKENDS",
+    "CountSource",
+    "ExecutionBackend",
+    "SegmentRef",
+    "SerialBackend",
+    "Shard",
+    "ShardMerger",
+    "ShardPlanner",
+    "ShardResult",
+    "ShardTask",
+    "ShardedBackend",
+    "SharedMemoryStore",
+    "WorkerPool",
+    "attach_segment",
+    "count_pairs",
+    "count_shard",
+    "make_backend",
+]
+
+#: Backend names accepted by the CLI and :class:`~repro.system.MatchSession`.
+BACKENDS = ("serial", "sharded")
+
+
+def make_backend(
+    spec: str | ExecutionBackend = "serial", workers: int | None = None
+) -> ExecutionBackend:
+    """Resolve a backend spec (``"serial"``, ``"sharded"``, or an existing
+    instance) into an :class:`ExecutionBackend`.
+
+    ``workers`` applies to the sharded backend only (default: the machine's
+    CPU count); passing it alongside an existing instance is an error since
+    the instance already fixed its pool size.
+    """
+    if isinstance(spec, ExecutionBackend):
+        if workers is not None:
+            raise ValueError("workers cannot be overridden on an existing backend")
+        return spec
+    if spec == "serial":
+        if workers is not None:
+            raise ValueError("the serial backend takes no workers")
+        return SerialBackend()
+    if spec == "sharded":
+        return ShardedBackend(workers)
+    raise ValueError(f"backend must be one of {BACKENDS}, got {spec!r}")

@@ -1,0 +1,125 @@
+"""The execution-backend seam all sampling routes through.
+
+:class:`ExecutionBackend` has two levels of hooks:
+
+- **algorithm level** — :meth:`run_uniform` / :meth:`run_sampling` wrap the
+  :class:`~repro.core.sampler.TupleSampler` calls HistSim makes (stage-1
+  uniform pass, stage-2 round budgets, stage-3 reconstruction).  The default
+  implementations delegate straight to the sampler; a future distributed
+  backend can intercept whole sampling requests here.
+- **engine level** — :meth:`count_blocks` performs the delivery of one
+  window's blocks (gather + filter + count + I/O cost accounting) for the
+  block sampling engine.  This is where :class:`ShardedBackend
+  <repro.parallel.sharded.ShardedBackend>` fans work out to its pool.
+
+:class:`SerialBackend` implements both levels with exactly the code the
+engine ran before the seam existed, so it *is* today's behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.io_manager import IOManager
+from ..storage.shuffle import ShuffledTable
+
+__all__ = ["CountSource", "ExecutionBackend", "SerialBackend", "count_pairs"]
+
+
+def count_pairs(
+    z: np.ndarray, x: np.ndarray, num_candidates: int, num_groups: int
+) -> np.ndarray:
+    """Bincount already-gathered ``(z, x)`` codes into a count matrix."""
+    flat = np.bincount(
+        z.astype(np.int64, copy=False) * num_groups + x.astype(np.int64, copy=False),
+        minlength=num_candidates * num_groups,
+    )
+    return flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class CountSource:
+    """What a backend needs to know about one engine's substrate.
+
+    Built once per :class:`~repro.sampling.engine.BlockSamplingEngine`; the
+    backend uses it to locate columns, apply the query's row filter, and
+    charge simulated I/O through the engine's :class:`IOManager`.
+    """
+
+    shuffled: ShuffledTable
+    z_name: str
+    x_name: str
+    num_candidates: int
+    num_groups: int
+    row_filter: np.ndarray | None
+    io: IOManager
+
+
+class ExecutionBackend(ABC):
+    """Strategy object deciding *how* sampling work is executed."""
+
+    name: str = "abstract"
+
+    # ---------------------------------------------------------- algorithm level
+
+    def run_uniform(self, sampler, m: int) -> np.ndarray:
+        """Execute a stage-1 uniform sampling request."""
+        return sampler.sample_uniform(m)
+
+    def run_sampling(
+        self, sampler, needed: np.ndarray, max_rows: float | None = None
+    ) -> np.ndarray:
+        """Execute a budgeted (stage-2/3) sampling request."""
+        return sampler.sample_until(needed, max_rows=max_rows)
+
+    # ------------------------------------------------------------- engine level
+
+    @abstractmethod
+    def count_blocks(
+        self, source: CountSource, blocks: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Deliver one window's (sorted, unique, non-empty) blocks.
+
+        Returns the fresh ``(candidate, group)`` count matrix and the
+        simulated I/O cost in nanoseconds.  Implementations must account
+        I/O through ``source.io`` so engine-level counters agree across
+        backends.
+        """
+
+    # --------------------------------------------------------------- lifecycle
+
+    def describe(self) -> dict:
+        """Report-facing description (recorded in benchmark JSON)."""
+        return {"backend": self.name}
+
+    def close(self) -> None:
+        """Release any pooled resources.  Idempotent; default is a no-op."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Single-process execution — the exact pre-backend behaviour."""
+
+    name = "serial"
+
+    def count_blocks(
+        self, source: CountSource, blocks: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        read = source.io.read_blocks(blocks, (source.z_name, source.x_name))
+        z = read.columns[source.z_name]
+        x = read.columns[source.x_name]
+        if source.row_filter is not None:
+            rows = source.shuffled.layout.rows_of_blocks(blocks)
+            keep = source.row_filter[rows]
+            z = z[keep]
+            x = x[keep]
+        counts = count_pairs(z, x, source.num_candidates, source.num_groups)
+        return counts, read.cost_ns

@@ -1,0 +1,54 @@
+"""Merging per-shard results back into the serial path's exact state.
+
+Per-shard counts cover disjoint row sets, so integer summation reconstructs
+*exactly* the count matrix the serial path would have produced for the same
+blocks — the property (selective-downsampling style partition-and-merge)
+that lets the sharded backend be byte-identical to serial execution.  The
+merger validates shapes and dtypes before summing: a silently broadcast or
+float-upcast partial result would corrupt every downstream P-value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .worker import ShardResult
+
+__all__ = ["ShardMerger"]
+
+
+class ShardMerger:
+    """Sums per-shard ``(candidate, group)`` count matrices exactly."""
+
+    def __init__(self, num_candidates: int, num_groups: int) -> None:
+        if num_candidates < 1 or num_groups < 1:
+            raise ValueError(
+                f"need positive dimensions, got {num_candidates}x{num_groups}"
+            )
+        self.num_candidates = num_candidates
+        self.num_groups = num_groups
+
+    def merge(self, results: Iterable[ShardResult]) -> np.ndarray:
+        """Sum shard counts into one int64 matrix; validates every shard."""
+        merged = np.zeros((self.num_candidates, self.num_groups), dtype=np.int64)
+        for result in results:
+            counts = np.asarray(result.counts)
+            if counts.shape != merged.shape:
+                raise ValueError(
+                    f"shard {result.task_id} counts have shape {counts.shape}, "
+                    f"expected {merged.shape}"
+                )
+            if not np.issubdtype(counts.dtype, np.integer):
+                raise ValueError(
+                    f"shard {result.task_id} counts must be integer, "
+                    f"got {counts.dtype}"
+                )
+            if int(counts.sum()) != result.rows:
+                raise ValueError(
+                    f"shard {result.task_id} rows tally {result.rows} does not "
+                    f"match its counts ({int(counts.sum())})"
+                )
+            merged += counts
+        return merged

@@ -1,0 +1,145 @@
+"""Persistent worker pool: spawn once per session, reuse across queries.
+
+Workers are plain ``multiprocessing`` processes running
+:func:`~repro.parallel.worker.worker_loop` over a shared task queue, so a
+window's shards are pulled by whichever workers are free.  The pool is
+deliberately persistent — process startup (interpreter + NumPy import under
+the ``spawn`` method) costs orders of magnitude more than one window's
+counting, so a :class:`~repro.system.session.MatchSession` pays it once and
+amortizes it over every query it serves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+from typing import Sequence
+
+from .worker import ShardResult, ShardTask, worker_loop
+
+__all__ = ["WorkerPool", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, Linux), else ``spawn`` (macOS/Windows)."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """A fixed set of shard-counting worker processes over shared queues.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  One task queue feeds all workers, so up to ``n_workers``
+        shards of one window count concurrently.
+    start_method:
+        ``multiprocessing`` start method; default per
+        :func:`default_start_method`.
+    result_timeout_s:
+        How long one result may take before the pool checks worker liveness
+        (a dead worker otherwise means waiting forever).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        result_timeout_s: float = 60.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if result_timeout_s <= 0:
+            raise ValueError(f"result_timeout_s must be positive, got {result_timeout_s}")
+        self.n_workers = n_workers
+        self.start_method = start_method or default_start_method()
+        self.result_timeout_s = result_timeout_s
+        self.tasks_dispatched = 0
+        self.closed = False
+        ctx = mp.get_context(self.start_method)
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        # fork children share the parent's resource tracker; attach-time
+        # registration bookkeeping differs accordingly (see attach_segment).
+        shared_tracker = self.start_method == "fork"
+        self._workers = [
+            ctx.Process(
+                target=worker_loop,
+                args=(self._task_queue, self._result_queue, shared_tracker),
+                name=f"repro-shard-worker-{i}",
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for worker in self._workers if worker.is_alive())
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:
+        """Dispatch shard tasks and gather all results, ordered by task id.
+
+        Raises if any task failed or any worker died — partial counts must
+        never be merged, or the exactness guarantee silently breaks.  A
+        worker death closes the pool: results for the dead worker's tasks
+        can never arrive, and surviving workers' late results must not leak
+        into a later ``run`` call.
+        """
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        expected = {task.task_id for task in tasks}
+        if len(expected) != len(tasks):
+            raise ValueError("task ids must be unique within one run")
+        for task in tasks:
+            self._task_queue.put(task)
+        self.tasks_dispatched += len(tasks)
+        results: dict[int, ShardResult] = {}
+        errors: list[str] = []
+        while len(results) + len(errors) < len(tasks):
+            try:
+                task_id, result, error = self._result_queue.get(
+                    timeout=self.result_timeout_s
+                )
+            except queue_module.Empty:
+                if self.alive_workers < self.n_workers:
+                    self.close()
+                    raise RuntimeError(
+                        f"worker died with {len(tasks) - len(results)} shard "
+                        "task(s) outstanding; pool closed"
+                    ) from None
+                continue
+            if task_id not in expected:
+                # A straggler from an earlier failed run; never merge it.
+                continue
+            if error is not None:
+                errors.append(f"task {task_id}: {error}")
+            else:
+                results[task_id] = result
+        if errors:
+            raise RuntimeError("shard task(s) failed: " + "; ".join(errors))
+        return [results[task.task_id] for task in tasks]
+
+    def close(self) -> None:
+        """Stop all workers and release the queues.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for _ in self._workers:
+            self._task_queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        for worker in self._workers:
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for q in (self._task_queue, self._result_queue):
+            q.close()
+            q.join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

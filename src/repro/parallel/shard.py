@@ -1,0 +1,83 @@
+"""Shard planning: partition a window's blocks into per-worker shards.
+
+A shard is a contiguous run of the (sorted) block list, sized so every
+shard covers roughly the same number of *rows* — the quantity that drives
+counting cost — rather than the same number of blocks (the final block of a
+layout may be short).
+
+Randomization guarantees
+------------------------
+Sharding happens *after* the engine has fixed which blocks a window
+delivers, and the shards partition exactly that block set.  The blocks live
+in the shuffled layout (Challenge 1), so the union of rows across shards is
+the same uniform without-replacement sample the serial path would count,
+and each shard on its own is a fixed subset of a random permutation — also
+uniform without replacement.  Planning never looks at data values, only at
+row geometry, so it cannot bias the sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.blocks import BlockLayout
+
+__all__ = ["Shard", "ShardPlanner"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of a window: a contiguous run of block indexes."""
+
+    index: int
+    blocks: np.ndarray
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.blocks.size == 0:
+            raise ValueError("a shard must cover at least one block")
+        if self.rows < 1:
+            raise ValueError(f"a shard must cover at least one row, got {self.rows}")
+
+
+class ShardPlanner:
+    """Partition sorted block lists into at most ``n_shards`` balanced shards.
+
+    Fewer shards are produced when there are fewer blocks than shards (every
+    shard is non-empty) or when row counts make a boundary collapse.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def plan(self, blocks: np.ndarray, layout: BlockLayout) -> list[Shard]:
+        """Split ``blocks`` (sorted, unique) into contiguous row-balanced shards."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
+            return []
+        if np.any(np.diff(blocks) <= 0):
+            raise ValueError("blocks must be sorted and unique")
+        if blocks[0] < 0 or blocks[-1] >= layout.num_blocks:
+            raise ValueError("block index out of range for the layout")
+        cumulative = np.cumsum(layout.rows_per_block(blocks))
+        total_rows = int(cumulative[-1])
+        n = min(self.n_shards, int(blocks.size))
+        # Ideal row boundaries at total/n multiples; each shard ends at the
+        # first block whose cumulative row count reaches its boundary.
+        targets = total_rows * np.arange(1, n + 1, dtype=np.float64) / n
+        ends = np.searchsorted(cumulative, targets, side="left") + 1
+        ends[-1] = blocks.size
+        shards: list[Shard] = []
+        start = 0
+        for end in ends:
+            end = int(min(end, blocks.size))
+            if end <= start:
+                continue
+            rows = int(cumulative[end - 1] - (cumulative[start - 1] if start else 0))
+            shards.append(Shard(index=len(shards), blocks=blocks[start:end], rows=rows))
+            start = end
+        return shards

@@ -1,0 +1,208 @@
+"""The sharded execution backend: plan → publish → fan out → merge.
+
+The coordinator's control flow (scan order, windows, policies, budgets,
+statistical tests) is untouched; :meth:`ShardedBackend.count_blocks`
+replaces only the counting of a window's delivered blocks:
+
+1. :class:`~repro.parallel.shard.ShardPlanner` splits the window's blocks
+   into row-balanced contiguous shards, one per worker;
+2. the dataset's columns (and the query's row filter) are published to
+   shared memory once per session via
+   :class:`~repro.parallel.shm.SharedMemoryStore` — workers attach
+   zero-copy;
+3. the persistent :class:`~repro.parallel.pool.WorkerPool` counts each
+   shard;
+4. :class:`~repro.parallel.merge.ShardMerger` sums the per-shard matrices
+   into exactly the fresh-count state the serial path would have produced.
+
+Small windows (common in stage 1's budget-trimmed reads and late stage-2
+rounds) fall below ``min_shard_rows`` and are counted inline — process
+round-trips would cost more than they save.  The fallback uses the same
+kernel as the workers, so the short-circuit cannot change results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .backend import CountSource, ExecutionBackend
+from .merge import ShardMerger
+from .pool import WorkerPool
+from .shard import ShardPlanner
+from .shm import SharedMemoryStore
+from .worker import ShardTask, count_shard
+
+__all__ = ["ShardedBackend"]
+
+#: Below this many rows per average shard, inline counting beats the pool.
+DEFAULT_MIN_SHARD_ROWS = 8192
+
+
+class ShardedBackend(ExecutionBackend):
+    """Shared-memory multi-process counting behind the backend seam.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes (default: the machine's CPU count).  The pool is
+        spawned lazily on the first window large enough to shard, then
+        reused for every subsequent window and query.
+    min_shard_rows:
+        Minimum average rows per shard worth a round-trip to the pool;
+        windows below ``n_workers * min_shard_rows`` rows are counted
+        inline with the identical kernel.  Set to 0 to force every window
+        through the pool — even single-shard ones, so a one-worker pool's
+        IPC overhead is really measured (used by the equivalence tests and
+        the benchmark's ``--tiny`` mode).
+    start_method:
+        Worker start method (default: ``fork`` where available).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+        start_method: str | None = None,
+    ) -> None:
+        resolved = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError(f"n_workers must be >= 1, got {resolved}")
+        if min_shard_rows < 0:
+            raise ValueError(f"min_shard_rows must be >= 0, got {min_shard_rows}")
+        self.n_workers = resolved
+        self.min_shard_rows = min_shard_rows
+        self.start_method = start_method
+        self.planner = ShardPlanner(resolved)
+        self.store = SharedMemoryStore()
+        self.shard_tasks = 0
+        self.inline_windows = 0
+        self._pool: WorkerPool | None = None
+        # Tables whose columns were published, pinned by identity: segment
+        # cache keys use id(table), so the object must outlive the cache
+        # entry (a recycled id would silently serve another dataset's data).
+        self._pinned_tables: dict[int, object] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------ pool
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The persistent worker pool, spawned on first use.
+
+        A pool that closed itself (worker death fails the in-flight window
+        and poisons the pool so stale results can't leak) is replaced by a
+        fresh one here, so the backend recovers for subsequent queries
+        instead of failing every later window against a dead pool.
+        """
+        if self.closed:
+            raise RuntimeError("ShardedBackend is closed")
+        if self._pool is not None and self._pool.closed:
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(self.n_workers, start_method=self.start_method)
+        return self._pool
+
+    # ------------------------------------------------------------- publishing
+
+    def _refs(self, source: CountSource):
+        """Segment refs for the source's columns, publishing on first use.
+
+        Keyed by table/filter identity: every engine of a session shares the
+        cached shuffled table objects, so each dataset column crosses into
+        shared memory exactly once no matter how many queries run.  Keyed
+        objects are pinned for the backend's lifetime (the store pins filter
+        arrays; tables are pinned here), so an id can never be recycled
+        while its cache entry lives.  Like the session's artifact cache,
+        segments have no eviction — a session's distinct datasets and
+        filters are assumed to fit memory.
+        """
+        table = source.shuffled.table
+        self._pinned_tables[id(table)] = table
+        z_ref = self.store.publish(
+            ("column", id(table), source.z_name), table.column(source.z_name)
+        )
+        x_ref = self.store.publish(
+            ("column", id(table), source.x_name), table.column(source.x_name)
+        )
+        filter_ref = None
+        if source.row_filter is not None:
+            filter_ref = self.store.publish(
+                ("filter", id(source.row_filter)), source.row_filter
+            )
+        return z_ref, x_ref, filter_ref
+
+    # --------------------------------------------------------------- counting
+
+    def count_blocks(
+        self, source: CountSource, blocks: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        cost = source.io.read_cost(blocks)
+        layout = source.shuffled.layout
+        total_rows = int(layout.rows_per_block(blocks).sum())
+        if total_rows < max(1, self.n_workers * self.min_shard_rows):
+            # Inline fallback: same kernel, same rows, no pool round-trip
+            # (and no shard planning — the plan would be discarded).
+            self.inline_windows += 1
+            counts = count_shard(
+                source.shuffled.table.column(source.z_name),
+                source.shuffled.table.column(source.x_name),
+                blocks,
+                layout,
+                source.num_candidates,
+                source.num_groups,
+                source.row_filter,
+            )
+            return counts, cost
+        shards = self.planner.plan(blocks, layout)
+        z_ref, x_ref, filter_ref = self._refs(source)
+        # Task ids are globally unique across the backend's lifetime, so a
+        # result from an earlier (failed) window can never be mistaken for
+        # one of this window's shards.
+        base_id = self.shard_tasks
+        tasks = [
+            ShardTask(
+                task_id=base_id + shard.index,
+                blocks=shard.blocks,
+                z_ref=z_ref,
+                x_ref=x_ref,
+                filter_ref=filter_ref,
+                block_size=layout.block_size,
+                num_rows=layout.num_rows,
+                num_candidates=source.num_candidates,
+                num_groups=source.num_groups,
+            )
+            for shard in shards
+        ]
+        # Count dispatched (not completed) tasks, and do so before running:
+        # ids must advance even if the window fails, or a retry could
+        # collide with the failed window's stale results.
+        self.shard_tasks += len(tasks)
+        results = self.pool.run(tasks)
+        merger = ShardMerger(source.num_candidates, source.num_groups)
+        return merger.merge(results), cost
+
+    # --------------------------------------------------------------- lifecycle
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.n_workers,
+            "min_shard_rows": self.min_shard_rows,
+            "shard_tasks": self.shard_tasks,
+        }
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory segment."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.store.close()
+        self._pinned_tables.clear()

@@ -1,0 +1,136 @@
+"""Shared-memory column store: zero-copy dataset access for workers.
+
+The coordinator publishes each column it wants workers to read exactly once
+per dataset (``publish`` is memoized by caller-supplied key); workers attach
+to the named segment and wrap it in a NumPy view without copying.  The store
+is the single owner of every segment it created: :meth:`close` unlinks them
+all, so a clean shutdown leaves nothing behind in ``/dev/shm``.
+
+Attachment uses :func:`attach_segment`, which works around CPython's
+resource-tracker over-registration (on Python <= 3.12 merely *attaching* to
+a segment registers it for cleanup, so an exiting worker could unlink a
+segment the coordinator still owns).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["SegmentRef", "SharedMemoryStore", "attach_segment"]
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """Everything a worker needs to reconstruct a published array."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+
+def attach_segment(
+    ref: SegmentRef, shared_tracker: bool = False
+) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a published segment; returns the handle and a read view.
+
+    The caller must keep the handle alive while using the view and
+    ``close()`` (not unlink) it when done — the publishing store owns the
+    segment's lifetime.
+
+    ``shared_tracker`` says whether this process shares its resource
+    tracker with the segment's creator (true in ``fork`` children).  On
+    Python <= 3.12 attaching registers the segment with the tracker; with a
+    *private* tracker that registration must be undone (or the attaching
+    process's exit would unlink a segment it does not own), while with a
+    *shared* tracker it must be kept (undoing it would strip the creator's
+    own registration).
+    """
+    try:
+        # Python >= 3.13: opt out of tracking explicitly.
+        shm = shared_memory.SharedMemory(name=ref.name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=ref.name)
+        if not shared_tracker:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    return shm, array
+
+
+class SharedMemoryStore:
+    """Publishes NumPy arrays into named shared-memory segments.
+
+    ``publish`` is idempotent per key, so callers can route every window
+    through it without re-copying columns.  The store keeps a strong
+    reference to each source array: keys may be identity-based (``id(...)``),
+    and holding the source pins that identity for the store's lifetime.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        # PID + random suffix keeps concurrent sessions' segments apart.
+        self._prefix = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._segments: dict[Hashable, tuple[shared_memory.SharedMemory, SegmentRef, np.ndarray]] = {}
+        self._serial = 0
+        self.closed = False
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> list[str]:
+        """Names of all live segments (for leak checks in tests)."""
+        return [ref.name for _, ref, _ in self._segments.values()]
+
+    def publish(self, key: Hashable, array: np.ndarray) -> SegmentRef:
+        """Copy ``array`` into a shared segment (once per key); returns its ref."""
+        if self.closed:
+            raise RuntimeError("SharedMemoryStore is closed")
+        if key in self._segments:
+            return self._segments[key][1]
+        source = np.ascontiguousarray(array)
+        name = f"{self._prefix}-{self._serial}"
+        self._serial += 1
+        shm = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1), name=name)
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        view[...] = source
+        ref = SegmentRef(name=name, dtype=source.dtype.str, shape=tuple(source.shape))
+        self._segments[key] = (shm, ref, array)
+        return ref
+
+    def ref(self, key: Hashable) -> SegmentRef:
+        if key not in self._segments:
+            raise KeyError(f"no segment published under key {key!r}")
+        return self._segments[key][1]
+
+    def close(self) -> None:
+        """Close and unlink every segment.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        for shm, _, _ in self._segments.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedMemoryStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

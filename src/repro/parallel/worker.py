@@ -1,0 +1,124 @@
+"""Worker-side execution: count one shard's ``(candidate, group)`` pairs.
+
+The counting kernel is a pure function shared by three callers — pool
+workers (over shared-memory views), the sharded backend's small-window
+fallback (over the coordinator's own columns), and tests — so there is
+exactly one implementation of the arithmetic whose exactness the
+byte-identity guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.blocks import BlockLayout
+from .shm import SegmentRef, attach_segment
+
+__all__ = ["ShardTask", "ShardResult", "count_shard", "worker_loop"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's counting assignment, as shipped over the task queue.
+
+    Column payloads travel as :class:`SegmentRef`\\ s (names, not data); the
+    only array pickled per task is the shard's block list.
+    """
+
+    task_id: int
+    blocks: np.ndarray
+    z_ref: SegmentRef
+    x_ref: SegmentRef
+    filter_ref: SegmentRef | None
+    block_size: int
+    num_rows: int
+    num_candidates: int
+    num_groups: int
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's merged-ready output: exact counts plus a rows tally."""
+
+    task_id: int
+    counts: np.ndarray
+    rows: int
+
+
+def count_shard(
+    z: np.ndarray,
+    x: np.ndarray,
+    blocks: np.ndarray,
+    layout: BlockLayout,
+    num_candidates: int,
+    num_groups: int,
+    row_filter: np.ndarray | None = None,
+) -> np.ndarray:
+    """Count ``(z, x)`` pairs of the rows covered by ``blocks``.
+
+    Identical arithmetic to the serial engine's delivery path: gather the
+    blocks' rows, drop rows failing the filter, and bincount the flattened
+    pair codes into a ``(num_candidates, num_groups)`` int64 matrix.
+    """
+    rows = layout.rows_of_blocks(blocks)
+    zz = z[rows].astype(np.int64, copy=False)
+    xx = x[rows].astype(np.int64, copy=False)
+    if row_filter is not None:
+        keep = row_filter[rows]
+        zz = zz[keep]
+        xx = xx[keep]
+    flat = np.bincount(zz * num_groups + xx, minlength=num_candidates * num_groups)
+    return flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+
+
+def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> ShardResult:
+    """Execute one task against cached shared-memory attachments."""
+
+    def view(ref: SegmentRef) -> np.ndarray:
+        if ref.name not in attachments:
+            attachments[ref.name] = attach_segment(ref, shared_tracker)
+        return attachments[ref.name][1]
+
+    layout = BlockLayout(task.num_rows, task.block_size)
+    row_filter = view(task.filter_ref) if task.filter_ref is not None else None
+    counts = count_shard(
+        view(task.z_ref),
+        view(task.x_ref),
+        task.blocks,
+        layout,
+        task.num_candidates,
+        task.num_groups,
+        row_filter,
+    )
+    return ShardResult(task_id=task.task_id, counts=counts, rows=int(counts.sum()))
+
+
+def worker_loop(task_queue, result_queue, shared_tracker: bool = False) -> None:
+    """Entry point of one pool worker process.
+
+    Pulls :class:`ShardTask`\\ s until the ``None`` sentinel, caching
+    shared-memory attachments across tasks (attach once per dataset, not per
+    window).  Failures are reported per-task as ``(task_id, None, error)``
+    so the coordinator can raise with context instead of hanging.
+    ``shared_tracker`` reflects the pool's start method (see
+    :func:`~repro.parallel.shm.attach_segment`).
+    """
+    attachments: dict = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            try:
+                result = _run_task(task, attachments, shared_tracker)
+                result_queue.put((task.task_id, result, None))
+            except Exception as exc:  # pragma: no cover - exercised via pool tests
+                result_queue.put((task.task_id, None, f"{type(exc).__name__}: {exc}"))
+    finally:
+        for shm, _ in attachments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass

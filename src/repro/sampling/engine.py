@@ -11,7 +11,10 @@ block mechanics:
 - already-read blocks are never re-read — their tuples were consumed, and
   fresh samples must be fresh;
 - costs are charged to a simulated clock, serially (SyncMatch) or
-  overlapped (FastMatch lookahead — Challenge 4).
+  overlapped (FastMatch lookahead — Challenge 4);
+- the delivery of each window's blocks (gather + filter + count) routes
+  through an :class:`~repro.parallel.ExecutionBackend`, so the serial and
+  sharded execution paths share one engine and differ only in *who* counts.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitmap.bitmap_index import BlockBitmapIndex
+from ..parallel.backend import CountSource, ExecutionBackend, SerialBackend
 from ..storage.cost_model import CostModel
 from ..storage.io_manager import IOManager
 from ..storage.shuffle import ShuffledTable
@@ -65,6 +69,10 @@ class BlockSamplingEngine:
         Optional boolean row mask (extra WHERE predicate).  AnyActive still
         keys on ``Z`` presence — a conservative superset of matching blocks
         — while delivered tuples are filtered exactly.
+    backend:
+        The :class:`~repro.parallel.ExecutionBackend` that delivers each
+        window's blocks.  Default: a private serial backend (exact legacy
+        behaviour).
     """
 
     def __init__(
@@ -80,12 +88,14 @@ class BlockSamplingEngine:
         window_blocks: int = 1024,
         row_filter: np.ndarray | None = None,
         start_block: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if window_blocks < 1:
             raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
         self.shuffled = shuffled
         self.layout = shuffled.layout
         self.io = IOManager(shuffled, cost_model)
+        self.backend = backend or SerialBackend()
         self.index = index
         self.cost_model = cost_model
         self.clock = clock
@@ -103,6 +113,15 @@ class BlockSamplingEngine:
             if row_filter.shape != (shuffled.num_rows,):
                 raise ValueError("row_filter must have one entry per row")
         self._row_filter = row_filter
+        self._source = CountSource(
+            shuffled=shuffled,
+            z_name=candidate_attribute,
+            x_name=grouping_attribute,
+            num_candidates=self._num_candidates,
+            num_groups=self._num_groups,
+            row_filter=row_filter,
+            io=self.io,
+        )
 
         z_column = shuffled.table.column(candidate_attribute).astype(np.int64, copy=False)
         if row_filter is not None:
@@ -168,30 +187,22 @@ class BlockSamplingEngine:
         return window[~self._consumed[window]]
 
     def _deliver_blocks(self, blocks: np.ndarray) -> tuple[np.ndarray, float]:
-        """Read blocks, count (z, x) pairs of surviving rows, mark consumed.
+        """Deliver blocks through the execution backend, mark them consumed.
 
-        Returns the fresh count matrix and the I/O cost.
+        The backend gathers, filters, and counts (serially or sharded across
+        workers); the engine keeps the bookkeeping — consumed blocks, per-
+        candidate delivery tallies, effort counters.  Returns the fresh
+        count matrix and the I/O cost.
         """
         if blocks.size == 0:
             return np.zeros((self._num_candidates, self._num_groups), dtype=np.int64), 0.0
         blocks = np.sort(blocks)
-        read = self.io.read_blocks(blocks, (self._z_name, self._x_name))
-        z = read.columns[self._z_name].astype(np.int64, copy=False)
-        x = read.columns[self._x_name].astype(np.int64, copy=False)
-        if self._row_filter is not None:
-            rows = self.layout.rows_of_blocks(blocks)
-            keep = self._row_filter[rows]
-            z = z[keep]
-            x = x[keep]
-        flat = np.bincount(
-            z * self._num_groups + x, minlength=self._num_candidates * self._num_groups
-        )
-        counts = flat.reshape(self._num_candidates, self._num_groups)
+        counts, cost_ns = self.backend.count_blocks(self._source, blocks)
         self._delivered += counts.sum(axis=1)
         self._consumed[blocks] = True
         self.counters.blocks_read += int(blocks.size)
         self.counters.rows_delivered += int(counts.sum())
-        return counts, read.cost_ns
+        return counts, cost_ns
 
     # ---------------------------------------------------------------- stage 1
 
@@ -217,11 +228,7 @@ class BlockSamplingEngine:
                 continue
             windows_without_blocks = 0
             # Trim to the minimal prefix reaching the budget.
-            rows_per_block = np.minimum(
-                self.layout.block_size,
-                self.layout.num_rows - blocks * self.layout.block_size,
-            )
-            cumulative = np.cumsum(rows_per_block)
+            cumulative = np.cumsum(self.layout.rows_per_block(blocks))
             cutoff = int(np.searchsorted(cumulative, m - delivered)) + 1
             blocks = blocks[:cutoff]
             counts, io_cost = self._deliver_blocks(blocks)

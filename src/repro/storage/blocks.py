@@ -54,6 +54,11 @@ class BlockLayout:
         start, stop = self.block_bounds(block)
         return stop - start
 
+    def rows_per_block(self, blocks: np.ndarray) -> np.ndarray:
+        """Tuples stored in each given block (the final block may be short)."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        return np.minimum(self.block_size, self.num_rows - blocks * self.block_size)
+
     def rows_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
         """Tuple offsets covered by the given block indexes, in block order."""
         blocks = np.asarray(blocks, dtype=np.int64)

@@ -45,6 +45,28 @@ class IOManager:
         self.total_rows_read = 0
         self.total_cost_ns = 0.0
 
+    def read_cost(self, blocks: np.ndarray) -> float:
+        """Account a batch of block reads without gathering any values.
+
+        The cost and effort counters are identical to :meth:`read_blocks`
+        for the same blocks — execution backends that read column data from
+        shared memory (the gather happens in workers) still charge simulated
+        I/O through this method, so per-backend cost accounting agrees.
+        ``blocks`` must be sorted and unique (the engine reads in storage
+        order — Section 4.2's locality discussion).
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
+            return 0.0
+        if np.any(np.diff(blocks) <= 0):
+            raise ValueError("blocks must be sorted and unique")
+        tuples_per_block = self.shuffled.layout.rows_per_block(blocks)
+        cost = self.cost_model.block_read_cost(tuples_per_block)
+        self.total_blocks_read += int(blocks.size)
+        self.total_rows_read += int(tuples_per_block.sum())
+        self.total_cost_ns += cost
+        return cost
+
     def read_blocks(self, blocks: np.ndarray, columns: tuple[str, ...]) -> BlockRead:
         """Read the given blocks and return the requested columns' values.
 
@@ -53,18 +75,14 @@ class IOManager:
         """
         blocks = np.asarray(blocks, dtype=np.int64)
         if blocks.size == 0:
-            return BlockRead({name: np.empty(0, dtype=np.int64) for name in columns}, 0, 0, 0.0)
-        if np.any(np.diff(blocks) <= 0):
-            raise ValueError("blocks must be sorted and unique")
-        layout = self.shuffled.layout
-        rows = layout.rows_of_blocks(blocks)
-        tuples_per_block = np.minimum(
-            layout.block_size,
-            layout.num_rows - blocks * layout.block_size,
-        )
-        cost = self.cost_model.block_read_cost(tuples_per_block)
+            # Empty reads still honour each column's stored dtype, so
+            # downstream concatenation never silently upcasts.
+            empty = {
+                name: np.empty(0, dtype=self.shuffled.table.column(name).dtype)
+                for name in columns
+            }
+            return BlockRead(empty, 0, 0, 0.0)
+        cost = self.read_cost(blocks)
+        rows = self.shuffled.layout.rows_of_blocks(blocks)
         gathered = {name: self.shuffled.table.column(name)[rows] for name in columns}
-        self.total_blocks_read += int(blocks.size)
-        self.total_rows_read += int(rows.size)
-        self.total_cost_ns += cost
         return BlockRead(gathered, int(rows.size), int(blocks.size), cost)

@@ -27,6 +27,7 @@ from ..core.guarantees import audit_result
 from ..core.histsim import HistSim
 from ..core.result import MatchResult
 from ..core.target import resolve_target
+from ..parallel.backend import ExecutionBackend
 from ..query.executor import exact_candidate_counts
 from ..query.predicate import TruePredicate
 from ..query.spec import HistogramQuery
@@ -124,12 +125,14 @@ def make_engine(
     cost_model: CostModel,
     clock: SimulatedClock,
     rng: np.random.Generator,
+    backend: ExecutionBackend | None = None,
 ) -> BlockSamplingEngine:
     """Build the block sampling engine for one sampling approach.
 
     Shared by :func:`run_approach` (one-shot) and the session layer
     (:mod:`repro.system.session`), which wires the same engine to a
-    resumable stepper on a shared clock."""
+    resumable stepper on a shared clock.  ``backend`` routes the engine's
+    block delivery (serial by default; sharded when opted in)."""
     if approach == "fastmatch":
         policy = AnyActiveLookaheadPolicy()
         window = config.lookahead
@@ -152,6 +155,7 @@ def make_engine(
         rng=rng,
         window_blocks=window,
         row_filter=prepared.row_filter,
+        backend=backend,
     )
 
 
@@ -186,6 +190,7 @@ def assemble_report(
     breakdown: dict[str, float] | None = None,
     audit: bool = True,
     query_name: str | None = None,
+    backend: str = "serial",
 ) -> RunReport:
     """Package one execution's outcome, auditing against the cached truth.
 
@@ -206,6 +211,7 @@ def assemble_report(
         breakdown=breakdown or {},
         counters=counters,
         audit=report_audit,
+        backend=backend,
     )
 
 
@@ -216,12 +222,19 @@ def run_approach(
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     audit: bool = True,
+    backend: ExecutionBackend | None = None,
 ) -> RunReport:
-    """Execute one approach on a prepared query and report result + cost."""
+    """Execute one approach on a prepared query and report result + cost.
+
+    ``backend`` selects the execution backend for the sampling approaches
+    (the exact ``"scan"`` is a single full pass and always runs serial);
+    the caller owns its lifetime (:meth:`ExecutionBackend.close`).
+    """
     if approach not in APPROACHES:
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
     rng = np.random.default_rng(seed)
     clock = SimulatedClock()
+    backend_name = "serial"
 
     if approach == "scan":
         result, clock = run_scan(
@@ -235,11 +248,14 @@ def run_approach(
         )
         counters = scan_counters(prepared.shuffled)
     else:
-        engine = make_engine(prepared, approach, config, cost_model, clock, rng)
+        engine = make_engine(prepared, approach, config, cost_model, clock, rng, backend)
         stats_engine = StatsEngine(cost_model, clock)
-        algo = HistSim(engine, prepared.target, config, stats_cost=stats_engine)
+        algo = HistSim(
+            engine, prepared.target, config, stats_cost=stats_engine, backend=backend
+        )
         result = algo.run()
         counters = engine_counters(engine)
+        backend_name = engine.backend.name
 
     return assemble_report(
         prepared,
@@ -250,4 +266,5 @@ def run_approach(
         counters,
         breakdown=clock.snapshot(),
         audit=audit,
+        backend=backend_name,
     )

@@ -17,7 +17,9 @@ class RunReport:
     ``elapsed_ns`` is simulated time from the cost model (the paper's
     wall-clock analogue); ``breakdown`` splits it by component;
     ``counters`` records I/O effort (blocks read/skipped, bitmap probes,
-    rows delivered).
+    rows delivered); ``backend`` names the execution backend that served
+    the run (``"serial"`` or ``"sharded"``), so benchmark JSON derived from
+    reports records how results were produced.
     """
 
     approach: str
@@ -27,6 +29,7 @@ class RunReport:
     breakdown: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     audit: GuaranteeAudit | None = None
+    backend: str = "serial"
 
     @property
     def elapsed_seconds(self) -> float:

@@ -77,11 +77,17 @@ class JobOutcome:
 
 @dataclass(frozen=True)
 class ScheduleResult:
-    """All outcomes of one scheduler drain, in submission order."""
+    """All outcomes of one scheduler drain, in submission order.
+
+    ``backend`` describes the execution backend the drain's jobs routed
+    their sampling through (:meth:`ExecutionBackend.describe`), so serving
+    metrics are attributable to how the work was executed.
+    """
 
     outcomes: tuple[JobOutcome, ...]
     elapsed_ns: float
     total_steps: int
+    backend: dict | None = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -135,10 +141,16 @@ class RoundRobinScheduler:
         The shared clock every job charges.  Submission and completion
         timestamps are read from it, so per-query latency reflects the
         interleaved execution.
+    backend:
+        Optional :class:`~repro.parallel.ExecutionBackend` the scheduled
+        jobs sample through; recorded on every :class:`ScheduleResult` for
+        attribution.  The scheduler never drives the backend itself — jobs
+        route their own sampling — so ``None`` simply means "serial".
     """
 
-    def __init__(self, clock: SimulatedClock) -> None:
+    def __init__(self, clock: SimulatedClock, backend=None) -> None:
         self.clock = clock
+        self.backend = backend
         self._entries: list[_Entry] = []
 
     @property
@@ -187,4 +199,5 @@ class RoundRobinScheduler:
             outcomes=tuple(e.outcome for e in fresh),
             elapsed_ns=self.clock.elapsed_ns - start_ns,
             total_steps=sum(e.steps for e in fresh),
+            backend=self.backend.describe() if self.backend is not None else None,
         )

@@ -32,6 +32,7 @@ from ..bitmap.builder import build_bitmap_index
 from ..core.config import HistSimConfig
 from ..core.histsim import HistSim, HistSimStepper
 from ..core.target import resolve_target
+from ..parallel import ExecutionBackend, make_backend
 from ..query.executor import exact_candidate_counts
 from ..query.predicate import TruePredicate
 from ..query.spec import HistogramQuery
@@ -98,6 +99,7 @@ class _StepperJob:
         seed: int,
         audit: bool,
         max_step_rows: int | None,
+        backend: ExecutionBackend,
     ) -> None:
         self.name = name
         self.approach = approach
@@ -105,10 +107,13 @@ class _StepperJob:
         self.config = config
         self._audit = audit
         rng = np.random.default_rng(seed)
-        self.engine = make_engine(prepared, approach, config, cost_model, clock, rng)
+        self.engine = make_engine(
+            prepared, approach, config, cost_model, clock, rng, backend
+        )
         stats_engine = StatsEngine(cost_model, clock)
         algorithm = HistSim(
-            self.engine, prepared.target, config, stats_cost=stats_engine
+            self.engine, prepared.target, config, stats_cost=stats_engine,
+            backend=backend,
         )
         self.stepper = HistSimStepper(algorithm=algorithm, max_step_rows=max_step_rows)
 
@@ -129,6 +134,7 @@ class _StepperJob:
             engine_counters(self.engine),
             audit=self._audit,
             query_name=self.name,
+            backend=self.engine.backend.name,
         )
 
 
@@ -194,6 +200,17 @@ class MatchSession:
         Simulated-hardware constants shared by all queries.
     audit:
         Verify guarantees against the cached exact ground truth per query.
+    backend:
+        Execution backend for every query's sampling: ``"serial"`` (default),
+        ``"sharded"``, or an existing
+        :class:`~repro.parallel.ExecutionBackend` instance.  The session
+        owns a backend it creates from a string spec — the sharded
+        backend's worker pool and shared-memory segments persist across
+        queries and are released by :meth:`close` (or the context-manager
+        exit).  A passed-in instance stays open after :meth:`close` so it
+        can be shared across sessions; its creator closes it.
+    workers:
+        Worker-process count for ``backend="sharded"`` (default: CPU count).
 
     Usage
     -----
@@ -211,13 +228,17 @@ class MatchSession:
         block_size: int = DEFAULT_BLOCK_SIZE,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         audit: bool = True,
+        backend: str | ExecutionBackend = "serial",
+        workers: int | None = None,
     ) -> None:
         self.table = table
         self.block_size = block_size
         self.cost_model = cost_model
         self.audit = audit
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(backend, workers)
         self.clock = SimulatedClock()
-        self.scheduler = RoundRobinScheduler(self.clock)
+        self.scheduler = RoundRobinScheduler(self.clock, backend=self.backend)
         self.cache_stats = CacheStats()
         self._shuffle_cache: dict = {}
         self._index_cache: dict = {}
@@ -377,12 +398,31 @@ class MatchSession:
                 seed,
                 self.audit,
                 max_step_rows,
+                self.backend,
             )
         self.scheduler.add(job)
 
     def run(self) -> ScheduleResult:
         """Drain all submitted queries round-robin on the shared clock."""
         return self.scheduler.run()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release backend resources (worker pool, shared-memory segments).
+
+        Idempotent; the serial backend makes this a no-op.  Only a backend
+        the session created itself is closed — a passed-in instance belongs
+        to its creator (who may be sharing it across sessions).
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------ conveniences
 

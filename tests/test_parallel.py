@@ -1,0 +1,358 @@
+"""Unit tests for the sharded execution subsystem's building blocks:
+planner, shared-memory store, worker kernel, pool, and merger."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SegmentRef,
+    Shard,
+    ShardMerger,
+    ShardPlanner,
+    ShardedBackend,
+    SharedMemoryStore,
+    WorkerPool,
+    count_shard,
+    make_backend,
+)
+from repro.parallel.backend import SerialBackend
+from repro.parallel.worker import ShardResult, ShardTask
+from repro.storage.blocks import BlockLayout
+
+
+def shm_files() -> set[str]:
+    """Current repro-owned segments in /dev/shm (Linux) or empty elsewhere."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+
+
+# ---------------------------------------------------------------------------
+# ShardPlanner
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlanner:
+    def test_partition_covers_blocks_exactly_once(self):
+        layout = BlockLayout(num_rows=1000, block_size=32)
+        blocks = np.arange(layout.num_blocks, dtype=np.int64)
+        shards = ShardPlanner(4).plan(blocks, layout)
+        recovered = np.concatenate([s.blocks for s in shards])
+        np.testing.assert_array_equal(recovered, blocks)
+        assert sum(s.rows for s in shards) == 1000
+
+    def test_balanced_by_rows(self):
+        layout = BlockLayout(num_rows=64 * 100, block_size=64)
+        blocks = np.arange(100, dtype=np.int64)
+        shards = ShardPlanner(4).plan(blocks, layout)
+        assert len(shards) == 4
+        rows = [s.rows for s in shards]
+        assert max(rows) - min(rows) <= 64  # within one block of perfect
+
+    def test_more_shards_than_blocks(self):
+        layout = BlockLayout(num_rows=96, block_size=32)
+        blocks = np.arange(3, dtype=np.int64)
+        shards = ShardPlanner(8).plan(blocks, layout)
+        assert 1 <= len(shards) <= 3
+        assert all(s.blocks.size >= 1 for s in shards)
+        recovered = np.concatenate([s.blocks for s in shards])
+        np.testing.assert_array_equal(recovered, blocks)
+
+    def test_empty_blocks(self):
+        layout = BlockLayout(num_rows=100, block_size=10)
+        assert ShardPlanner(4).plan(np.empty(0, dtype=np.int64), layout) == []
+
+    def test_single_block(self):
+        layout = BlockLayout(num_rows=100, block_size=10)
+        shards = ShardPlanner(4).plan(np.array([3]), layout)
+        assert len(shards) == 1 and shards[0].rows == 10
+
+    def test_short_final_block_rows(self):
+        layout = BlockLayout(num_rows=105, block_size=10)  # last block: 5 rows
+        blocks = np.arange(layout.num_blocks, dtype=np.int64)
+        shards = ShardPlanner(3).plan(blocks, layout)
+        assert sum(s.rows for s in shards) == 105
+
+    def test_rejects_unsorted(self):
+        layout = BlockLayout(num_rows=100, block_size=10)
+        with pytest.raises(ValueError):
+            ShardPlanner(2).plan(np.array([3, 1]), layout)
+        with pytest.raises(ValueError):
+            ShardPlanner(2).plan(np.array([1, 1]), layout)
+
+    def test_rejects_bad_n_shards(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            Shard(index=0, blocks=np.empty(0, dtype=np.int64), rows=1)
+        with pytest.raises(ValueError):
+            Shard(index=0, blocks=np.array([1]), rows=0)
+
+
+# ---------------------------------------------------------------------------
+# SharedMemoryStore
+# ---------------------------------------------------------------------------
+
+
+class TestSharedMemoryStore:
+    def test_publish_roundtrip_preserves_dtype_and_values(self):
+        from repro.parallel.shm import attach_segment
+
+        store = SharedMemoryStore()
+        try:
+            data = np.arange(100, dtype=np.uint16)
+            ref = store.publish("key", data)
+            assert ref.dtype == np.dtype(np.uint16).str
+            shm, view = attach_segment(ref)
+            np.testing.assert_array_equal(view, data)
+            assert view.dtype == np.uint16
+            shm.close()
+        finally:
+            store.close()
+
+    def test_publish_is_memoized_per_key(self):
+        with SharedMemoryStore() as store:
+            a = store.publish("k", np.arange(10))
+            b = store.publish("k", np.arange(10))
+            assert a == b and store.num_segments == 1
+
+    def test_close_unlinks_segments(self):
+        store = SharedMemoryStore()
+        store.publish("k1", np.arange(64))
+        store.publish("k2", np.ones(64, dtype=bool))
+        names = set(store.segment_names())
+        assert len(names) == 2
+        if os.path.isdir("/dev/shm"):
+            assert names <= set(os.listdir("/dev/shm"))
+        store.close()
+        if os.path.isdir("/dev/shm"):
+            assert not (names & set(os.listdir("/dev/shm")))
+
+    def test_close_is_idempotent_and_publish_after_close_raises(self):
+        store = SharedMemoryStore()
+        store.publish("k", np.arange(4))
+        store.close()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.publish("k2", np.arange(4))
+
+
+# ---------------------------------------------------------------------------
+# Counting kernel
+# ---------------------------------------------------------------------------
+
+
+class TestCountShard:
+    def test_matches_direct_bincount(self):
+        rng = np.random.default_rng(3)
+        n, c, g = 1000, 7, 5
+        z = rng.integers(0, c, n).astype(np.uint8)
+        x = rng.integers(0, g, n).astype(np.uint8)
+        layout = BlockLayout(n, 32)
+        blocks = np.arange(layout.num_blocks, dtype=np.int64)
+        counts = count_shard(z, x, blocks, layout, c, g)
+        expected = np.bincount(
+            z.astype(np.int64) * g + x, minlength=c * g
+        ).reshape(c, g)
+        np.testing.assert_array_equal(counts, expected)
+        assert counts.dtype == np.int64
+
+    def test_respects_row_filter_and_partial_blocks(self):
+        rng = np.random.default_rng(4)
+        n, c, g = 517, 4, 3  # short final block
+        z = rng.integers(0, c, n)
+        x = rng.integers(0, g, n)
+        keep = rng.random(n) < 0.5
+        layout = BlockLayout(n, 64)
+        blocks = np.array([0, 2, layout.num_blocks - 1], dtype=np.int64)
+        counts = count_shard(z, x, blocks, layout, c, g, row_filter=keep)
+        rows = layout.rows_of_blocks(blocks)
+        kept = rows[keep[rows]]
+        expected = np.bincount(
+            z[kept] * g + x[kept], minlength=c * g
+        ).reshape(c, g)
+        np.testing.assert_array_equal(counts, expected)
+
+
+# ---------------------------------------------------------------------------
+# ShardMerger
+# ---------------------------------------------------------------------------
+
+
+class TestShardMerger:
+    def test_merge_sums_exactly(self):
+        a = np.arange(6, dtype=np.int64).reshape(2, 3)
+        b = np.ones((2, 3), dtype=np.int64)
+        merged = ShardMerger(2, 3).merge(
+            [
+                ShardResult(task_id=0, counts=a, rows=int(a.sum())),
+                ShardResult(task_id=1, counts=b, rows=int(b.sum())),
+            ]
+        )
+        np.testing.assert_array_equal(merged, a + b)
+
+    def test_merge_rejects_shape_mismatch(self):
+        bad = ShardResult(task_id=0, counts=np.zeros((3, 3), dtype=np.int64), rows=0)
+        with pytest.raises(ValueError):
+            ShardMerger(2, 3).merge([bad])
+
+    def test_merge_rejects_float_counts(self):
+        bad = ShardResult(task_id=0, counts=np.zeros((2, 3)), rows=0)
+        with pytest.raises(ValueError):
+            ShardMerger(2, 3).merge([bad])
+
+    def test_merge_rejects_inconsistent_rows_tally(self):
+        bad = ShardResult(
+            task_id=0, counts=np.ones((2, 3), dtype=np.int64), rows=5
+        )
+        with pytest.raises(ValueError):
+            ShardMerger(2, 3).merge([bad])
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.close()
+
+
+def make_tasks(store: SharedMemoryStore, n: int, c: int, g: int, n_shards: int):
+    """Random (z, x) data published to shm + one task per planner shard."""
+    rng = np.random.default_rng(11)
+    z = rng.integers(0, c, n).astype(np.uint8)
+    x = rng.integers(0, g, n).astype(np.uint8)
+    layout = BlockLayout(n, 32)
+    z_ref = store.publish("z", z)
+    x_ref = store.publish("x", x)
+    blocks = np.arange(layout.num_blocks, dtype=np.int64)
+    shards = ShardPlanner(n_shards).plan(blocks, layout)
+    tasks = [
+        ShardTask(
+            task_id=s.index,
+            blocks=s.blocks,
+            z_ref=z_ref,
+            x_ref=x_ref,
+            filter_ref=None,
+            block_size=layout.block_size,
+            num_rows=layout.num_rows,
+            num_candidates=c,
+            num_groups=g,
+        )
+        for s in shards
+    ]
+    expected = np.bincount(z.astype(np.int64) * g + x, minlength=c * g).reshape(c, g)
+    return tasks, expected
+
+
+class TestWorkerPool:
+    def test_run_counts_match_local(self, pool):
+        with SharedMemoryStore() as store:
+            tasks, expected = make_tasks(store, n=2048, c=6, g=4, n_shards=2)
+            results = pool.run(tasks)
+            merged = ShardMerger(6, 4).merge(results)
+            np.testing.assert_array_equal(merged, expected)
+            assert pool.tasks_dispatched >= len(tasks)
+
+    def test_task_failure_raises_with_context(self, pool):
+        bad = ShardTask(
+            task_id=0,
+            blocks=np.array([0], dtype=np.int64),
+            z_ref=SegmentRef(name="repro-definitely-missing", dtype="<i8", shape=(8,)),
+            x_ref=SegmentRef(name="repro-definitely-missing", dtype="<i8", shape=(8,)),
+            filter_ref=None,
+            block_size=8,
+            num_rows=8,
+            num_candidates=2,
+            num_groups=2,
+        )
+        with pytest.raises(RuntimeError, match="shard task"):
+            pool.run([bad])
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_close_stops_workers(self):
+        p = WorkerPool(1)
+        assert p.alive_workers == 1
+        p.close()
+        assert p.alive_workers == 0
+        p.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            p.run([])
+
+    def test_worker_death_poisons_pool(self):
+        p = WorkerPool(1, result_timeout_s=0.2)
+        try:
+            p._workers[0].terminate()
+            p._workers[0].join(timeout=5.0)
+            with SharedMemoryStore() as store:
+                tasks, _ = make_tasks(store, n=256, c=2, g=2, n_shards=1)
+                with pytest.raises(RuntimeError, match="worker died"):
+                    p.run(tasks)
+            # The failed run closed the pool: no later run can merge
+            # partial or stale results.
+            assert p.closed
+        finally:
+            p.close()
+
+    def test_rejects_duplicate_task_ids(self, pool):
+        with SharedMemoryStore() as store:
+            tasks, _ = make_tasks(store, n=256, c=2, g=2, n_shards=1)
+            with pytest.raises(ValueError, match="unique"):
+                pool.run([tasks[0], tasks[0]])
+
+
+# ---------------------------------------------------------------------------
+# make_backend factory
+# ---------------------------------------------------------------------------
+
+
+class TestMakeBackend:
+    def test_serial_default(self):
+        backend = make_backend()
+        assert isinstance(backend, SerialBackend)
+        assert backend.describe() == {"backend": "serial"}
+
+    def test_sharded_with_workers(self):
+        backend = make_backend("sharded", workers=3)
+        try:
+            assert isinstance(backend, ShardedBackend)
+            assert backend.n_workers == 3
+            assert backend.describe()["workers"] == 3
+        finally:
+            backend.close()
+
+    def test_sharded_backend_respawns_a_dead_pool(self):
+        backend = ShardedBackend(1, min_shard_rows=0)
+        try:
+            first = backend.pool
+            first.close()  # as after a worker death mid-window
+            replacement = backend.pool
+            assert replacement is not first
+            assert replacement.alive_workers == 1
+        finally:
+            backend.close()
+
+    def test_existing_instance_passthrough(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+        with pytest.raises(ValueError):
+            make_backend(backend, workers=2)
+
+    def test_rejects_unknown_and_bad_args(self):
+        with pytest.raises(ValueError):
+            make_backend("threads")
+        with pytest.raises(ValueError):
+            make_backend("serial", workers=2)

@@ -298,5 +298,23 @@ class TestIOManager:
         t = small_table(300)
         s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
         io = IOManager(s, CostModel())
-        read = io.read_blocks(np.array([], dtype=int), ("z",))
+        read = io.read_blocks(np.array([], dtype=int), ("z", "x"))
         assert read.rows_read == 0 and read.cost_ns == 0.0
+        # Empty reads carry each column's schema dtype, so concatenating an
+        # empty read with a real one never upcasts the compact encoding.
+        for name in ("z", "x"):
+            assert read.columns[name].dtype == s.table.column(name).dtype
+
+    def test_read_cost_matches_read_blocks_accounting(self):
+        t = small_table(300)
+        s = shuffle_table(t, block_size=50, rng=np.random.default_rng(5))
+        blocks = np.array([1, 3, 5])
+        io_a, io_b = IOManager(s, CostModel()), IOManager(s, CostModel())
+        read = io_a.read_blocks(blocks, ("z",))
+        cost = io_b.read_cost(blocks)
+        assert cost == read.cost_ns
+        assert io_a.total_blocks_read == io_b.total_blocks_read
+        assert io_a.total_rows_read == io_b.total_rows_read
+        assert io_a.total_cost_ns == io_b.total_cost_ns
+        with pytest.raises(ValueError):
+            io_b.read_cost(np.array([3, 1]))
