@@ -1,0 +1,250 @@
+"""Serving benchmark — open-loop Poisson arrivals through the front door.
+
+Not a paper figure: this benchmark exercises the async serving subsystem
+(admission control + deadline-aware scheduling + bounded steppers) under
+the load shape the ROADMAP north star implies — requests arriving on their
+own schedule, not as a batch.  A fixed Poisson arrival trace over the
+FLIGHTS workload mix is replayed open-loop on the simulated clock through
+every scheduling policy, at an arrival rate deliberately above the service
+rate (overload), with heterogeneous per-request deadlines.
+
+The default overload is moderate (1.25× the service rate): that is the
+regime where *scheduling* decides deadline hits — queues build, so FIFO
+convoys tight-deadline requests behind loose ones while EDF reorders.
+Far past saturation (≳ 1.5×) most deadlines become infeasible for any
+order and EDF exhibits its classic overload domino (it keeps granting
+slices to the most-imminent — hence most-doomed — request), so comparisons
+there measure draining, not scheduling.
+
+Reports, per policy: p50/p95/p99 latency, deadline-hit rate, completion /
+partial / miss / shed counts.  JSON goes to
+``benchmarks/results/bench_serving.json``.
+
+Checks:
+
+- a request served through the front door (no deadline) returns results
+  byte-identical to a standalone ``run_approach`` execution;
+- under overload, EDF beats FIFO on deadline-hit rate (the classic
+  single-server scheduling result, and this PR's acceptance criterion);
+- FIFO actually misses deadlines under overload (otherwise the comparison
+  above is vacuous).
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from common import RESULTS_DIR, format_table, save_report
+from repro.data import load_dataset, workload_query
+from repro.core.config import HistSimConfig
+from repro.serving import POLICIES, QueryRequest
+from repro.system import MatchSession, run_approach
+
+#: Queries cycled to fill the trace (all on FLIGHTS: one session serves it).
+FLIGHTS_QUERIES = ("flights-q1", "flights-q2", "flights-q3", "flights-q4")
+
+#: Deadline multiples of each query's *own* standalone service time: a
+#: tight/medium/loose mix, so deadline-aware policies have something to
+#: exploit.  Tight deadlines stay feasible when served promptly — deadlines
+#: no schedule could meet only reward draining fast, not scheduling well.
+DEADLINE_FACTORS = (1.5, 3.0, 10.0)
+
+
+def config_for_query(query, rows: int) -> HistSimConfig:
+    return HistSimConfig(
+        k=query.k, epsilon=0.1, delta=0.01, sigma=0.0008,
+        stage1_samples=min(50_000, max(1, rows // 20)),
+    )
+
+
+def calibrate_service_ns(table, args) -> dict[str, float]:
+    """Per-query standalone service time of the mix (simulated)."""
+    session = MatchSession(table)
+    service = {}
+    for name in FLIGHTS_QUERIES:
+        _, query = workload_query(name)
+        prepared = session.prepared(query, seed=args.seed)
+        report = run_approach(
+            prepared, "fastmatch", config_for_query(query, table.num_rows),
+            seed=args.seed, audit=False,
+        )
+        service[name] = report.elapsed_ns
+    session.close()
+    return service
+
+
+def build_trace(table, service_ns: dict[str, float], args) -> list[tuple[float, QueryRequest]]:
+    """One fixed Poisson trace shared by every policy run.
+
+    Interarrival times are exponential with rate ``overload / μ`` — i.e.
+    work arrives ``overload``× faster than one server can drain it — and
+    each request draws a deadline from the tight/medium/loose mix, scaled
+    to its own query's service time.
+    """
+    mu_ns = float(np.mean(list(service_ns.values())))
+    rng = np.random.default_rng(args.seed)
+    clock_ns = 0.0
+    trace = []
+    for i in range(args.requests):
+        clock_ns += rng.exponential(mu_ns / args.overload)
+        query_name = FLIGHTS_QUERIES[i % len(FLIGHTS_QUERIES)]
+        _, query = workload_query(query_name)
+        deadline = service_ns[query_name] * rng.choice(DEADLINE_FACTORS)
+        trace.append(
+            (
+                clock_ns,
+                QueryRequest(
+                    query,
+                    config=config_for_query(query, table.num_rows),
+                    seed=args.seed,
+                    max_step_rows=args.max_step_rows,
+                    deadline_ns=float(deadline),
+                    on_deadline="partial",
+                    name=f"{query_name}#{i}",
+                ),
+            )
+        )
+    return trace
+
+
+def run_policy(table, policy: str, trace, args) -> dict:
+    session = MatchSession(table)
+    door = session.serve(policy=policy, max_queue=args.max_queue)
+    try:
+        outcomes = door.replay(trace)
+    finally:
+        door.shutdown()
+    snap = door.metrics.snapshot()
+    achieved = [
+        o.report.achieved_epsilon
+        for o in outcomes
+        if o.status == "partial" and o.report is not None
+    ]
+    return {
+        "policy": policy,
+        **snap.to_dict(),
+        "mean_partial_achieved_epsilon": (
+            float(np.mean(achieved)) if achieved else None
+        ),
+    }
+
+
+def verify_front_door_identity(table, args) -> None:
+    """A no-deadline request through the front door == standalone execution."""
+    _, query = workload_query(FLIGHTS_QUERIES[0])
+    config = config_for_query(query, table.num_rows)
+    session = MatchSession(table)
+    door = session.serve(policy="edf")
+    (outcome,) = door.replay(
+        [(0.0, QueryRequest(query, config=config, seed=args.seed))]
+    )
+    standalone = run_approach(
+        session.prepared(query, seed=args.seed), "fastmatch", config,
+        seed=args.seed, audit=False,
+    )
+    door.shutdown()
+    assert outcome.status == "completed"
+    assert outcome.report.result.matching == standalone.result.matching, (
+        "front-door matching differs from standalone"
+    )
+    assert np.array_equal(
+        outcome.report.result.histograms, standalone.result.histograms
+    ), "front-door histograms differ from standalone"
+    assert outcome.report.result.stats == standalone.result.stats, (
+        "front-door sampling effort differs from standalone"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000,
+                        help="FLIGHTS dataset rows (default 1M)")
+    parser.add_argument("--requests", type=int, default=120,
+                        help="requests in the Poisson trace")
+    parser.add_argument("--overload", type=float, default=1.25,
+                        help="arrival rate as a multiple of service rate "
+                             "(> 1 = overload; see module docstring)")
+    parser.add_argument("--max-queue", type=int, default=8,
+                        help="admission bound on requests in flight")
+    parser.add_argument("--max-step-rows", type=int, default=5_000,
+                        help="scheduler time-slice in rows")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: small data, short trace")
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        args.rows = 60_000
+        args.requests = 64
+        args.max_step_rows = 2_000
+        args.max_queue = 8
+
+    table = load_dataset("flights", rows=args.rows, seed=args.seed).table
+    verify_front_door_identity(table, args)
+
+    service_ns = calibrate_service_ns(table, args)
+    mu_ns = float(np.mean(list(service_ns.values())))
+    trace = build_trace(table, service_ns, args)
+    results = {
+        "rows": table.num_rows,
+        "requests": args.requests,
+        "overload": args.overload,
+        "max_queue": args.max_queue,
+        "max_step_rows": args.max_step_rows,
+        "mean_service_ms": mu_ns * 1e-6,
+        "policies": [run_policy(table, policy, trace, args) for policy in POLICIES],
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_serving.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    rows_out = [
+        [
+            r["policy"],
+            r["completed"], r["partial"], r["missed"], r["shed"],
+            f"{r['deadline_hit_rate'] * 100:.1f}%",
+            f"{r['p50_latency_ms']:.2f}",
+            f"{r['p95_latency_ms']:.2f}",
+            f"{r['p99_latency_ms']:.2f}",
+        ]
+        for r in results["policies"]
+    ]
+    save_report(
+        "bench_serving",
+        format_table(
+            f"Serving under overload — {args.requests} Poisson arrivals at "
+            f"{args.overload:.1f}x service rate, FLIGHTS mix "
+            f"(mean service {mu_ns * 1e-6:.2f} ms, max_queue={args.max_queue})",
+            ["policy", "done", "part", "miss", "shed", "hit rate",
+             "p50 ms", "p95 ms", "p99 ms"],
+            rows_out,
+        ),
+    )
+
+    by_policy = {r["policy"]: r for r in results["policies"]}
+    fifo, edf = by_policy["fifo"], by_policy["edf"]
+    if fifo["deadline_hit_rate"] >= 1.0:
+        print("ERROR: FIFO hit every deadline — the trace is not an overload")
+        return 1
+    if edf["deadline_hit_rate"] < fifo["deadline_hit_rate"]:
+        print(
+            "ERROR: EDF deadline-hit rate "
+            f"({edf['deadline_hit_rate']:.3f}) below FIFO "
+            f"({fifo['deadline_hit_rate']:.3f}) under overload"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

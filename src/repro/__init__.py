@@ -10,6 +10,8 @@ Subpackages:
 - :mod:`repro.parallel` — execution backends: serial and sharded
   (shared-memory worker pool) with byte-identical results.
 - :mod:`repro.system` — the FastMatch architecture and baselines.
+- :mod:`repro.serving` — the online front door: admission control,
+  deadline-aware scheduling policies, bounded queues, serving metrics.
 - :mod:`repro.query` — histogram-generating query templates and exact executor.
 - :mod:`repro.data` — synthetic FLIGHTS / TAXI / POLICE datasets and workloads.
 - :mod:`repro.extensions` — Appendix A generalizations.
@@ -17,9 +19,21 @@ Subpackages:
 
 __version__ = "1.0.0"
 
-from . import bitmap, core, data, extensions, parallel, query, sampling, storage, system
+from . import (
+    bitmap,
+    core,
+    data,
+    extensions,
+    parallel,
+    query,
+    sampling,
+    serving,
+    storage,
+    system,
+)
 from .match import match_histograms, match_many
 from .parallel import ExecutionBackend, SerialBackend, ShardedBackend, make_backend
+from .serving import FrontDoor, QueryRequest
 from .system.session import MatchSession
 
 __all__ = [
@@ -30,6 +44,7 @@ __all__ = [
     "parallel",
     "query",
     "sampling",
+    "serving",
     "storage",
     "system",
     "match_histograms",
@@ -38,6 +53,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ShardedBackend",
+    "FrontDoor",
+    "QueryRequest",
     "MatchSession",
     "__version__",
 ]

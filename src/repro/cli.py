@@ -5,18 +5,27 @@ Single query (prints the run report and ASCII visualizations):
     python -m repro --query flights-q1 --approach fastmatch --rows 1000000
     python -m repro --list
 
-Multi-query serving (one MatchSession per dataset; prepared artifacts are
+Multi-query batch (one MatchSession per dataset; prepared artifacts are
 shared across queries and execution is interleaved on one simulated clock):
 
     python -m repro batch --queries flights-q1 flights-q3 flights-q4
-    python -m repro serve --queries taxi-q1 taxi-q2 --repeat 4 --rows 500000
 
-Prints per-query latency/service time, aggregate throughput, and the
-artifact-cache hit profile.
+Online serving through the async front door — admission control, a
+scheduling policy, per-query deadlines with ε-relaxed partial answers, and
+an open-loop trace replay mode:
+
+    python -m repro serve --queries taxi-q1 taxi-q2 --repeat 4 \\
+        --policy edf --deadline-ms 50 --max-queue 8
+    python -m repro serve --trace arrivals.jsonl --policy cost
+
+A trace file holds one JSON object per line:
+``{"query": "flights-q1", "arrival_ms": 12.5, "deadline_ms": 40}``
+(optional keys: ``approach``, ``seed``, ``on_deadline``).
 
 Sharded parallel execution (``--backend sharded --workers N``) fans each
-window's block counting out to a persistent pool of shared-memory worker
-processes; results are byte-identical to the serial backend:
+window's block counting — and the exact Scan/ground-truth passes — out to
+a persistent pool of shared-memory worker processes; results are
+byte-identical to the serial backend:
 
     python -m repro --query taxi-q1 --backend sharded --workers 4
     python -m repro serve --queries taxi-q1 taxi-q2 --backend sharded
@@ -25,11 +34,14 @@ processes; results are byte-identical to the serial backend:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
 from .parallel import BACKENDS, make_backend
+from .serving import POLICIES, QueryRequest
 from .system import APPROACHES, MatchSession, run_approach
 from .system.visualize import render_result
 
@@ -43,9 +55,9 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def _add_batch_arguments(sub: argparse.ArgumentParser) -> None:
+def _add_batch_arguments(sub: argparse.ArgumentParser, queries_required: bool = True) -> None:
     sub.add_argument(
-        "--queries", nargs="+", choices=QUERY_NAMES, required=True,
+        "--queries", nargs="+", choices=QUERY_NAMES, required=queries_required,
         help="Table 3 queries to serve concurrently",
     )
     # Flags the top-level parser also accepts use SUPPRESS so a value given
@@ -111,14 +123,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers = parser.add_subparsers(dest="command")
     batch = subparsers.add_parser(
-        "batch", aliases=["serve"],
-        help="serve several queries through shared MatchSessions",
+        "batch",
+        help="drain several queries through shared MatchSessions",
         description="Interleave several workload queries per dataset through "
                     "one MatchSession each, reporting per-query latency, "
                     "aggregate throughput, and artifact-cache reuse.",
     )
     _add_batch_arguments(batch)
     batch.set_defaults(command="batch")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="online serving through the async front door",
+        description="Serve workload queries through the front door: bounded "
+                    "admission, a scheduling policy, per-query deadlines "
+                    "(ε-relaxed partial answers on expiry), and an open-loop "
+                    "trace replay mode.  Reports per-query outcomes plus "
+                    "latency percentiles, deadline-hit rate, and shed count.",
+    )
+    _add_batch_arguments(serve, queries_required=False)
+    serve.add_argument(
+        "--policy", choices=POLICIES, default="edf",
+        help="scheduling policy (default: edf)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline on the simulated clock (default: none)",
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=None,
+        help="admission bound on requests in flight (default: unbounded)",
+    )
+    serve.add_argument(
+        "--trace", type=Path, default=None,
+        help="JSONL trace replayed open-loop: one "
+             '{"query", "arrival_ms", "deadline_ms"?, ...} per line',
+    )
+    serve.set_defaults(command="serve")
     return parser
 
 
@@ -133,17 +174,20 @@ def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         stage1_samples=min(50_000, max(1, args.rows // 20)),
     )
 
-    scan = run_approach(prepared, "scan", config, seed=args.seed)
-    if args.approach == "scan":
-        report = scan
-    else:
-        backend = make_backend(args.backend, args.workers)
-        try:
+    backend = make_backend(args.backend, args.workers)
+    try:
+        if args.approach == "scan":
+            # The report IS the baseline; count it through the chosen
+            # backend (byte-identical, exercises the sharded exact pass).
+            scan = run_approach(prepared, "scan", config, seed=args.seed, backend=backend)
+            report = scan
+        else:
+            scan = run_approach(prepared, "scan", config, seed=args.seed)
             report = run_approach(
                 prepared, args.approach, config, seed=args.seed, backend=backend
             )
-        finally:
-            backend.close()
+    finally:
+        backend.close()
 
     print(f"query      : {args.query}  (Z={prepared.query.candidate_attribute}, "
           f"X={prepared.query.grouping_attribute}, k={k})")
@@ -252,20 +296,139 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(args: argparse.Namespace) -> list[tuple[float, str, QueryRequest]]:
+    """Arrival events as ``(arrival_ns, dataset, request)``, arrival-sorted.
+
+    Sourced from ``--trace`` (JSONL, open-loop timestamps) or synthesized
+    from ``--queries``/``--repeat`` (all arriving at time zero)."""
+    events: list[tuple[float, str, QueryRequest]] = []
+
+    def request_for(query_name: str, *, deadline_ms, seed, approach,
+                    on_deadline="partial", label=None) -> tuple[str, QueryRequest]:
+        dataset_name, query = workload_query(query_name)
+        k = args.k if args.k is not None else query.k
+        config = HistSimConfig(
+            k=k, epsilon=args.epsilon, delta=args.delta, sigma=args.sigma,
+            stage1_samples=min(50_000, max(1, args.rows // 20)),
+        )
+        return dataset_name, QueryRequest(
+            query,
+            approach=approach,
+            config=config,
+            seed=seed,
+            max_step_rows=args.max_step_rows,
+            deadline_ns=None if deadline_ms is None else deadline_ms * 1e6,
+            on_deadline=on_deadline,
+            name=label or query_name,
+        )
+
+    if args.trace is not None:
+        for line_no, line in enumerate(args.trace.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                event = json.loads(line)
+                query_name = event["query"]
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise SystemExit(f"{args.trace}:{line_no}: bad trace event: {exc}")
+            if query_name not in QUERY_NAMES:
+                raise SystemExit(
+                    f"{args.trace}:{line_no}: unknown query {query_name!r}"
+                )
+            try:
+                dataset_name, request = request_for(
+                    query_name,
+                    deadline_ms=event.get("deadline_ms", args.deadline_ms),
+                    seed=event.get("seed", args.seed),
+                    approach=event.get("approach", args.approach),
+                    on_deadline=event.get("on_deadline", "partial"),
+                    label=f"{query_name}@{line_no}",
+                )
+            except ValueError as exc:
+                raise SystemExit(f"{args.trace}:{line_no}: bad trace event: {exc}")
+            events.append((event.get("arrival_ms", 0.0) * 1e6, dataset_name, request))
+    else:
+        for query_name in args.queries:
+            for repeat in range(args.repeat):
+                dataset_name, request = request_for(
+                    query_name,
+                    deadline_ms=args.deadline_ms,
+                    seed=args.seed,
+                    approach=args.approach,
+                    label=f"{query_name}" + (f"#{repeat}" if args.repeat > 1 else ""),
+                )
+                events.append((0.0, dataset_name, request))
+    return sorted(events, key=lambda e: e[0])
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    events = _load_trace(args)
+    by_dataset: dict[str, list[tuple[float, QueryRequest]]] = {}
+    for arrival_ns, dataset_name, request in events:
+        by_dataset.setdefault(dataset_name, []).append((arrival_ns, request))
+
+    for dataset_name, trace in by_dataset.items():
+        dataset = load_dataset(dataset_name, rows=args.rows, seed=args.seed)
+        session = MatchSession(
+            dataset.table, backend=args.backend, workers=args.workers
+        )
+        door = session.serve(policy=args.policy, max_queue=args.max_queue)
+        try:
+            outcomes = door.replay(trace)
+        finally:
+            door.shutdown()
+
+        print(f"dataset    : {dataset_name}  ({dataset.table.num_rows:,} rows, "
+              f"{len(trace)} requests, policy={args.policy}, "
+              f"max_queue={args.max_queue or 'unbounded'})")
+        for outcome in outcomes:
+            extra = ""
+            if outcome.status == "partial" and outcome.report is not None:
+                extra = (f"  achieved_eps={outcome.report.achieved_epsilon:.3f}"
+                         f" (asked {args.epsilon})")
+            elif outcome.status == "completed" and outcome.deadline_ns is not None:
+                extra = "  deadline=hit" if outcome.deadline_hit else "  deadline=late"
+            print(f"  {outcome.name:<16} {outcome.status:<9} "
+                  f"latency={outcome.latency_seconds * 1e3:8.2f} ms  "
+                  f"steps={outcome.steps:<3d}{extra}")
+        snap = door.metrics.snapshot()
+        print(f"  served     : {snap.completed} completed, {snap.partial} partial, "
+              f"{snap.missed} missed, {snap.shed} shed")
+        print(f"  latency    : p50={snap.p50_latency_ms:.2f} "
+              f"p95={snap.p95_latency_ms:.2f} p99={snap.p99_latency_ms:.2f} ms")
+        print(f"  deadlines  : hit rate "
+              f"{snap.deadline_hit_rate * 100:.1f}% "
+              f"({door.metrics.deadline_hits}/{door.metrics.deadline_requests})")
+        print(f"  cache      : {session.cache_stats.summary()} "
+              f"({session.cache_hits} hits)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.backend != "sharded":
-        parser.error("--workers requires --backend sharded")
-    if args.backend != "serial" and args.approach == "scan":
-        parser.error(
-            "--backend sharded has no effect on the exact scan baseline; "
-            "pick a sampling approach"
+        # Ignored-with-warning rather than silently accepted (or fatally
+        # rejected): scripted callers flipping --backend should not crash,
+        # but must be told their parallelism knob did nothing.
+        print(
+            f"warning: --workers {args.workers} is ignored with "
+            f"--backend {args.backend}",
+            file=sys.stderr,
         )
+        args.workers = None
 
-    if getattr(args, "command", None) == "batch":
+    command = getattr(args, "command", None)
+    if command == "batch":
         return _run_batch(args)
+    if command == "serve":
+        if args.trace is None and not args.queries:
+            parser.error("serve requires --queries or --trace")
+        if args.deadline_ms is not None and args.deadline_ms <= 0:
+            parser.error("--deadline-ms must be positive")
+        return _run_serve(args)
 
     if args.list:
         print("available queries:")

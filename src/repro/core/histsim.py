@@ -41,9 +41,11 @@ from ..parallel.backend import ExecutionBackend, SerialBackend
 from .config import HistSimConfig
 from .deviation import (
     deviation_log_pvalue,
+    epsilon_given_samples,
     stage2_sample_budget,
     stage3_sample_target,
 )
+from .distance import candidate_distances
 from .hypergeometric import underrepresentation_pvalues
 from .multiple_testing import holm_bonferroni, simultaneous_rejection_log
 from .result import MatchResult, RoundTrace, StageStats
@@ -588,6 +590,152 @@ class HistSimStepper:
         while not self.done:
             self.step()
         return self.result
+
+    # ------------------------------------------------------------ serving hooks
+
+    def _current_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cumulative plus in-flight round counts/samples, without mutating
+        state (a mid-round fold would change later round tests)."""
+        state = self.algorithm.state
+        return state.counts + state.round_counts, state.samples + state.round_samples
+
+    def partial_result(self) -> MatchResult:
+        """Best-effort result from the work done so far (deadline path).
+
+        Non-mutating and callable in any stage: the current top-k by the
+        combined cumulative + in-flight round estimates, with whatever
+        histograms those samples bought.  Unlike a completed run, the
+        returned set carries **no** separation guarantee and its
+        reconstruction radius is :meth:`achieved_epsilon`, not the
+        configured ε — the caller (the serving front door) must report it as
+        a degraded answer.  Before any sampling the matching set is empty.
+        """
+        if isinstance(self.stage, Done):
+            return self.stage.result
+        algo = self.algorithm
+        counts, samples = self._current_counts()
+        run_samples = int(samples.sum()) - self._before_stage1
+        if run_samples <= 0:
+            matching = np.empty(0, dtype=np.int64)
+            tau = np.full(algo.alive.size, np.inf)
+        else:
+            tau = candidate_distances(counts, algo.target)
+            if isinstance(self.stage, Stage3):
+                matching = np.asarray(self.stage.matching, dtype=np.int64)
+                order = np.argsort(tau[matching], kind="stable")
+                matching = matching[order]
+            else:
+                matching = select_matching(tau, algo.alive, algo.config.k)
+        if isinstance(self.stage, Stage1):
+            stage1 = run_samples
+            stage2 = stage3 = 0
+        elif isinstance(self.stage, Stage2Round):
+            stage1 = self._after_stage1 - self._before_stage1
+            stage2 = run_samples - stage1
+            stage3 = 0
+        else:
+            stage1 = self._after_stage1 - self._before_stage1
+            stage2 = self._after_stage2 - self._after_stage1
+            stage3 = run_samples - stage1 - stage2
+        pruned_mask = (
+            self._pruned_mask
+            if self._pruned_mask is not None
+            else np.zeros(algo.alive.size, dtype=bool)
+        )
+        stats = StageStats(
+            stage1_samples=stage1,
+            stage2_samples=stage2,
+            stage3_samples=stage3,
+            pruned_candidates=int(pruned_mask.sum()),
+            surviving_candidates=int(algo.alive.sum()),
+            rounds=len(algo.rounds),
+        )
+        return MatchResult(
+            matching=tuple(int(i) for i in matching),
+            histograms=counts[matching].copy(),
+            distances=tau[matching].copy(),
+            pruned=tuple(int(i) for i in np.flatnonzero(pruned_mask)),
+            exact=algo.sampler.fully_scanned,
+            stats=stats,
+            rounds=tuple(algo.rounds),
+        )
+
+    def achieved_epsilon(self, matching: Sequence[int] | np.ndarray | None = None) -> float:
+        """Reconstruction radius the delivered samples actually bought.
+
+        Theorem 1 inverted at stage 3's per-candidate confidence δ/(3k):
+        the smallest ε' such that every returned histogram satisfies
+        ``d(r_i, r*_i) < ε'`` with probability ``> 1 − δ/(3k)`` given its
+        current sample count.  A completed run reports a value ≤ the
+        configured ε by construction; a deadline-cut run reports the looser
+        radius its partial samples support (``inf`` when a returned
+        candidate has no samples at all, ``0`` when the data was exhausted —
+        exact histograms).  ``matching`` defaults to the current
+        :meth:`partial_result` set.
+        """
+        algo = self.algorithm
+        if matching is None:
+            matching = np.asarray(self.partial_result().matching, dtype=np.int64)
+        matching = np.asarray(matching, dtype=np.int64)
+        if matching.size == 0:
+            return float("inf")
+        if algo.sampler.fully_scanned:
+            return 0.0
+        _, samples = self._current_counts()
+        cfg = algo.config
+        eps = np.asarray(
+            epsilon_given_samples(
+                samples[matching], cfg.delta / (3.0 * cfg.k), algo.sampler.num_groups
+            ),
+            dtype=np.float64,
+        )
+        if algo.state.candidate_rows is not None:
+            exact = samples[matching] >= algo.state.candidate_rows[matching]
+            eps = np.where(exact, 0.0, eps)
+        return float(np.max(eps))
+
+    def estimated_remaining_rows(self) -> float:
+        """Lookahead estimate of the rows this run still needs — the paper's
+        per-stage budgeting machinery (Eq. 1 round budgets, the line-26
+        stage-3 target) reused as a scheduling cost hint.
+
+        A heuristic, not a bound: stage-2 may run more rounds than the one
+        currently planned, and budgets assume current margin estimates.
+        Shortest-expected-remaining-cost scheduling only needs relative
+        ordering, which this tracks well (it shrinks monotonically within a
+        stage as samples arrive).
+        """
+        algo = self.algorithm
+        cfg = algo.config
+        if isinstance(self.stage, Done):
+            return 0.0
+        counts, samples = self._current_counts()
+        tau = candidate_distances(counts, algo.target)
+        matching = select_matching(tau, algo.alive, cfg.k)
+        stage3_residual = float(
+            np.maximum(0, algo.stage3_target - samples[matching]).sum()
+        )
+        if isinstance(self.stage, Stage1):
+            m = cfg.effective_stage1_samples(algo.sampler.total_rows)
+            estimate = float(m) + stage3_residual
+        elif isinstance(self.stage, Stage2Round):
+            st = self.stage
+            if st.exhaust:
+                estimate = float(max(0, algo.sampler.total_rows - int(samples.sum())))
+            else:
+                if st.plan is not None:
+                    rem = np.maximum(st.plan.budgets - algo.state.round_samples, 0.0)
+                    round_rem = float(np.where(np.isfinite(rem), rem, 0.0).sum())
+                else:
+                    round_rem = float(
+                        cfg.min_round_samples * max(int(algo.alive.sum()), 1)
+                    )
+                estimate = round_rem + stage3_residual
+        else:
+            st = self.stage
+            needed = st.needed if st.needed is not None else algo.stage3_needed(st.matching)
+            estimate = float(np.where(np.isfinite(needed), needed, 0.0).sum())
+        return min(estimate, float(algo.sampler.total_rows))
 
     def _sample(self, needed: np.ndarray) -> np.ndarray:
         """One sampling request through the algorithm's execution backend,

@@ -135,13 +135,16 @@ def match_many(
     max_step_rows: int | None = None,
     backend: str | ExecutionBackend = "serial",
     workers: int | None = None,
+    policy: str = "rr",
 ) -> ScheduleResult:
     """Run a batch of histogram-matching queries through one shared session.
 
     Every query's preparation artifacts (shuffle, bitmap index, ground
     truth) are computed once per distinct sub-key and reused; execution is
-    interleaved round-robin on one simulated clock, modelling a server
-    working through a concurrent queue.
+    interleaved on one simulated clock under ``policy``
+    (:data:`repro.serving.POLICIES`; round-robin by default), modelling a
+    server working through a concurrent queue.  For *online* arrivals with
+    admission control and deadlines, use :class:`repro.FrontDoor` instead.
 
     Parameters
     ----------
@@ -158,6 +161,9 @@ def match_many(
         Execution backend shared by every query in the batch (the sharded
         backend's worker pool is spawned once and reused).  A backend
         created here is closed before returning.
+    policy:
+        Scheduling policy for the drain; per-query results are identical
+        under every policy (only latency shape changes).
 
     Returns
     -------
@@ -168,7 +174,12 @@ def match_many(
     ``.throughput_qps`` and ``.elapsed_seconds``.
     """
     session = MatchSession(
-        table, block_size=block_size, audit=audit, backend=backend, workers=workers
+        table,
+        block_size=block_size,
+        audit=audit,
+        backend=backend,
+        workers=workers,
+        policy=policy,
     )
     configs = [
         HistSimConfig(k=query.k, epsilon=epsilon, delta=delta, sigma=sigma)

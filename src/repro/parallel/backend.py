@@ -11,6 +11,17 @@
   window's blocks (gather + filter + count + I/O cost accounting) for the
   block sampling engine.  This is where :class:`ShardedBackend
   <repro.parallel.sharded.ShardedBackend>` fans work out to its pool.
+- **table level** — :meth:`count_table` computes the exact
+  ``(candidate, group)`` counts of a *whole* table in one pass.  The exact
+  Scan baseline and the ground-truth computation both reduce to this, and
+  both are embarrassingly shardable: the sharded backend partitions the
+  rows, counts per shard, and merges by exact integer addition, so the
+  result is byte-identical to the serial pass.
+
+Backends also expose :meth:`unpublish`, the cache-eviction hook: when a
+serving session evicts prepared artifacts, the backend releases whatever
+per-artifact resources it holds (the sharded backend unlinks the artifacts'
+shared-memory segments).
 
 :class:`SerialBackend` implements both levels with exactly the code the
 engine ran before the seam existed, so it *is* today's behaviour.
@@ -89,7 +100,42 @@ class ExecutionBackend(ABC):
         backends.
         """
 
+    # -------------------------------------------------------------- table level
+
+    def count_table(
+        self,
+        table,
+        z_name: str,
+        x_name: str,
+        num_candidates: int,
+        num_groups: int,
+        row_filter: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact ``(candidate, group)`` counts over every row of ``table``.
+
+        ``row_filter`` (a boolean row mask) drops rows before counting;
+        ``None`` means no predicate.  The default implementation is the
+        serial single-pass bincount; sharded backends partition the rows and
+        merge, with byte-identical results (exact integer sums over a
+        disjoint row partition).
+        """
+        z = table.column(z_name)
+        x = table.column(x_name)
+        if row_filter is not None:
+            z = z[row_filter]
+            x = x[row_filter]
+        return count_pairs(z, x, num_candidates, num_groups)
+
     # --------------------------------------------------------------- lifecycle
+
+    def unpublish(self, *artifacts) -> None:
+        """Release per-artifact resources (cache-eviction hook).
+
+        Called by the session layer when prepared artifacts (tables, row
+        filters) are evicted from its caches.  The default is a no-op; the
+        sharded backend unlinks the artifacts' shared-memory segments.
+        Idempotent, and unknown artifacts are ignored.
+        """
 
     def describe(self) -> dict:
         """Report-facing description (recorded in benchmark JSON)."""

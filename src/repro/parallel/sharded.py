@@ -27,6 +27,7 @@ import os
 
 import numpy as np
 
+from ..storage.blocks import BlockLayout
 from .backend import CountSource, ExecutionBackend
 from .merge import ShardMerger
 from .pool import WorkerPool
@@ -38,6 +39,12 @@ __all__ = ["ShardedBackend"]
 
 #: Below this many rows per average shard, inline counting beats the pool.
 DEFAULT_MIN_SHARD_ROWS = 8192
+
+#: Synthetic block size used to shard whole-table exact-counting passes
+#: (Scan baseline, ground truth).  Any value partitions the rows exactly;
+#: this one keeps per-shard task payloads small while giving the planner
+#: enough blocks to balance.
+EXACT_PASS_BLOCK_ROWS = 8192
 
 
 class ShardedBackend(ExecutionBackend):
@@ -186,7 +193,84 @@ class ShardedBackend(ExecutionBackend):
         merger = ShardMerger(source.num_candidates, source.num_groups)
         return merger.merge(results), cost
 
+    # -------------------------------------------------------------- table level
+
+    def count_table(
+        self,
+        table,
+        z_name: str,
+        x_name: str,
+        num_candidates: int,
+        num_groups: int,
+        row_filter: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact whole-table counts, sharded across the worker pool.
+
+        The rows are partitioned under a synthetic block layout and every
+        shard is counted by the same kernel the sampling path uses; exact
+        integer sums over the disjoint partition make the merged matrix
+        byte-identical to the serial pass.  Columns are published to shared
+        memory under the same per-table keys as :meth:`count_blocks`, so a
+        session's sampling and exact passes share one set of segments.  The
+        row filter ships as per-shard slices instead of a segment: exact
+        passes are one-shot, and a throwaway full-table mask in shared
+        memory would stay pinned by worker attachment caches.
+        """
+        num_rows = table.num_rows
+        if num_rows < max(1, self.n_workers * self.min_shard_rows):
+            return super().count_table(
+                table, z_name, x_name, num_candidates, num_groups, row_filter
+            )
+        layout = BlockLayout(num_rows, EXACT_PASS_BLOCK_ROWS)
+        shards = self.planner.plan(
+            np.arange(layout.num_blocks, dtype=np.int64), layout
+        )
+        self._pinned_tables[id(table)] = table
+        z_ref = self.store.publish(("column", id(table), z_name), table.column(z_name))
+        x_ref = self.store.publish(("column", id(table), x_name), table.column(x_name))
+        base_id = self.shard_tasks
+        tasks = [
+            ShardTask(
+                task_id=base_id + shard.index,
+                blocks=shard.blocks,
+                z_ref=z_ref,
+                x_ref=x_ref,
+                filter_ref=None,
+                block_size=layout.block_size,
+                num_rows=num_rows,
+                num_candidates=num_candidates,
+                num_groups=num_groups,
+                filter_values=(
+                    row_filter[layout.rows_of_blocks(shard.blocks)]
+                    if row_filter is not None
+                    else None
+                ),
+            )
+            for shard in shards
+        ]
+        self.shard_tasks += len(tasks)
+        results = self.pool.run(tasks)
+        merger = ShardMerger(num_candidates, num_groups)
+        return merger.merge(results)
+
     # --------------------------------------------------------------- lifecycle
+
+    def unpublish(self, *artifacts) -> None:
+        """Unlink the shared-memory segments belonging to evicted artifacts.
+
+        Artifacts are matched by identity against the store's publish keys
+        (``("column", id(table), name)`` / ``("filter", id(mask))``), so a
+        table drops all of its column segments and a filter mask drops its
+        segment; pinned tables are released so their ids can be recycled.
+        """
+        ids = {id(artifact) for artifact in artifacts if artifact is not None}
+        if not ids or self.closed:
+            return
+        for key in self.store.keys():
+            if isinstance(key, tuple) and len(key) >= 2 and key[1] in ids:
+                self.store.unpublish(key)
+        for identity in ids:
+            self._pinned_tables.pop(identity, None)
 
     def describe(self) -> dict:
         return {

@@ -89,6 +89,30 @@ class SharedMemoryStore:
         """Names of all live segments (for leak checks in tests)."""
         return [ref.name for _, ref, _ in self._segments.values()]
 
+    def keys(self) -> list[Hashable]:
+        """Keys of all live segments (eviction hooks iterate these)."""
+        return list(self._segments)
+
+    def unpublish(self, key: Hashable) -> None:
+        """Close and unlink one published segment (cache-eviction hook).
+
+        Idempotent: unknown keys are ignored.  Unlinking removes the name
+        from ``/dev/shm`` immediately; the pages themselves are freed once
+        every attached worker closes its handle (workers cache attachments,
+        so a long-lived pool pins an evicted segment's pages until it shuts
+        down — segment names are serial-unique, so a stale attachment can
+        never alias a later publication).
+        """
+        entry = self._segments.pop(key, None)
+        if entry is None:
+            return
+        shm, _, _ = entry
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
     def publish(self, key: Hashable, array: np.ndarray) -> SegmentRef:
         """Copy ``array`` into a shared segment (once per key); returns its ref."""
         if self.closed:

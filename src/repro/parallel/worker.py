@@ -24,7 +24,10 @@ class ShardTask:
     """One shard's counting assignment, as shipped over the task queue.
 
     Column payloads travel as :class:`SegmentRef`\\ s (names, not data); the
-    only array pickled per task is the shard's block list.
+    only arrays pickled per task are the shard's block list and, for
+    one-shot exact passes, ``filter_values`` — the row filter *sliced to the
+    shard's rows* (shipping a slice beats publishing a throwaway full-table
+    mask to shared memory, where worker attachment caches would pin it).
     """
 
     task_id: int
@@ -36,6 +39,7 @@ class ShardTask:
     num_rows: int
     num_candidates: int
     num_groups: int
+    filter_values: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -55,18 +59,23 @@ def count_shard(
     num_candidates: int,
     num_groups: int,
     row_filter: np.ndarray | None = None,
+    filter_slice: np.ndarray | None = None,
 ) -> np.ndarray:
     """Count ``(z, x)`` pairs of the rows covered by ``blocks``.
 
     Identical arithmetic to the serial engine's delivery path: gather the
     blocks' rows, drop rows failing the filter, and bincount the flattened
     pair codes into a ``(num_candidates, num_groups)`` int64 matrix.
+
+    The filter comes either as ``row_filter`` (a full-table mask indexed by
+    the gathered rows) or ``filter_slice`` (a mask already aligned to the
+    shard's rows in block order) — mutually exclusive, same arithmetic.
     """
     rows = layout.rows_of_blocks(blocks)
     zz = z[rows].astype(np.int64, copy=False)
     xx = x[rows].astype(np.int64, copy=False)
-    if row_filter is not None:
-        keep = row_filter[rows]
+    keep = row_filter[rows] if row_filter is not None else filter_slice
+    if keep is not None:
         zz = zz[keep]
         xx = xx[keep]
     flat = np.bincount(zz * num_groups + xx, minlength=num_candidates * num_groups)
@@ -91,6 +100,7 @@ def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> Shard
         task.num_candidates,
         task.num_groups,
         row_filter,
+        task.filter_values,
     )
     return ShardResult(task_id=task.task_id, counts=counts, rows=int(counts.sum()))
 

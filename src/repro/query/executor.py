@@ -2,30 +2,49 @@
 
 Evaluates every candidate histogram of a Definition 1 template in one pass
 (vectorized two-dimensional ``bincount``), exactly what the paper's Scan
-baseline computes.
+baseline computes.  The counting itself routes through an
+:class:`~repro.parallel.ExecutionBackend` — the pass is embarrassingly
+shardable, so a sharded backend partitions the rows across its worker pool
+and merges by exact integer addition, byte-identical to the serial pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.backend import ExecutionBackend, SerialBackend
 from ..storage.table import ColumnTable
+from .predicate import TruePredicate
 from .spec import HistogramQuery
 
 __all__ = ["exact_candidate_counts", "exact_histogram"]
 
 
-def exact_candidate_counts(table: ColumnTable, query: HistogramQuery) -> np.ndarray:
-    """The full ``(|V_Z|, |V_X|)`` matrix of exact grouped counts."""
+def exact_candidate_counts(
+    table: ColumnTable,
+    query: HistogramQuery,
+    backend: ExecutionBackend | None = None,
+) -> np.ndarray:
+    """The full ``(|V_Z|, |V_X|)`` matrix of exact grouped counts.
+
+    ``backend`` selects how the counting pass executes (default: serial);
+    results are byte-identical across backends.
+    """
     query.validate_against(table)
     num_z, num_x = query.cardinalities(table)
-    z = table.column(query.candidate_attribute)
-    x = table.column(query.grouping_attribute)
-    mask = query.predicate.mask(table)
-    z = z[mask].astype(np.int64, copy=False)
-    x = x[mask].astype(np.int64, copy=False)
-    flat = np.bincount(z * num_x + x, minlength=num_z * num_x)
-    return flat.reshape(num_z, num_x)
+    if isinstance(query.predicate, TruePredicate):
+        row_filter = None
+    else:
+        row_filter = query.predicate.mask(table)
+    resolved = backend if backend is not None else SerialBackend()
+    return resolved.count_table(
+        table,
+        query.candidate_attribute,
+        query.grouping_attribute,
+        num_z,
+        num_x,
+        row_filter=row_filter,
+    )
 
 
 def exact_histogram(table: ColumnTable, query: HistogramQuery, candidate: int) -> np.ndarray:

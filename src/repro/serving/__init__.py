@@ -1,0 +1,82 @@
+"""The online serving subsystem: a front door for interactive-latency matching.
+
+The paper's headline is interactive latency; this package supplies the
+serving architecture that claim implies when queries arrive as traffic
+rather than as a batch:
+
+- :class:`FrontDoor` — accepts :class:`QueryRequest`\\ s while others run
+  (threaded), or replays open-loop arrival traces on the simulated clock
+  (deterministic);
+- :class:`AdmissionController` — bounded queue depth with load shedding
+  (typed :class:`AdmissionRejected`);
+- :class:`ServingScheduler` + policies (:data:`POLICIES`: FIFO,
+  round-robin, earliest-deadline-first, shortest-expected-remaining-cost
+  via the paper's lookahead estimate) — time-slice resumable
+  :class:`~repro.core.histsim.HistSimStepper` jobs on one shared
+  :class:`~repro.system.clock.SimulatedClock`;
+- per-request deadlines — expiry yields an ε-relaxed partial answer
+  carrying its actually-achieved guarantee, or a typed
+  :class:`DeadlineMiss`;
+- :class:`ServingMetrics` — snapshot API for per-query latency
+  percentiles, deadline-hit rate, and shed counts
+  (:class:`~repro.system.report.ServingReport`).
+
+Scheduling shapes latency only: a request served through the front door
+with no deadline returns byte-identical results to a standalone
+:func:`repro.match_histograms` call, under every policy.
+"""
+
+from .admission import AdmissionController
+from .frontdoor import FrontDoor, ResponseHandle
+from .metrics import ServingMetrics
+from .policies import (
+    POLICIES,
+    EdfPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    ShortestCostPolicy,
+    make_policy,
+)
+from .request import (
+    ON_DEADLINE,
+    AdmissionRejected,
+    DeadlineMiss,
+    QueryRequest,
+    ServingError,
+)
+from .scheduler import (
+    CANCELLED,
+    COMPLETED,
+    MISS,
+    PARTIAL,
+    SHED,
+    ServingOutcome,
+    ServingScheduler,
+)
+
+__all__ = [
+    "ON_DEADLINE",
+    "POLICIES",
+    "CANCELLED",
+    "COMPLETED",
+    "MISS",
+    "PARTIAL",
+    "SHED",
+    "AdmissionController",
+    "AdmissionRejected",
+    "DeadlineMiss",
+    "EdfPolicy",
+    "FifoPolicy",
+    "FrontDoor",
+    "QueryRequest",
+    "ResponseHandle",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "ServingError",
+    "ServingMetrics",
+    "ServingOutcome",
+    "ServingScheduler",
+    "ShortestCostPolicy",
+    "make_policy",
+]

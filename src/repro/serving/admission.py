@@ -1,0 +1,68 @@
+"""Admission control: bound how much work the front door accepts.
+
+Under open-loop traffic ("heavy traffic from millions of users") the queue
+of admitted-but-unfinished work must be bounded, or latency grows without
+limit while every queued request still misses its deadline.  The
+controller tracks requests in flight (admitted, not yet finalized) and
+sheds arrivals beyond ``max_queue`` — the classic load-shedding trade: a
+fast typed rejection now beats a useless answer later.
+
+Thread-safe: the threaded front door admits from caller threads while its
+scheduler loop releases from its own.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting semaphore with shed statistics (never blocks).
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum requests in flight (queued + running).  ``None`` means
+        unbounded — every request is admitted.
+    """
+
+    def __init__(self, max_queue: int | None = None) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self.admitted = 0
+        self.shed = 0
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted and not yet finalized."""
+        return self._in_flight
+
+    def try_admit(self) -> bool:
+        """Admit one request if capacity allows; records the decision."""
+        with self._lock:
+            if self.max_queue is not None and self._in_flight >= self.max_queue:
+                self.shed += 1
+                return False
+            self._in_flight += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        """One admitted request was finalized (any status)."""
+        with self._lock:
+            if self._in_flight <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("release() without a matching try_admit()")
+            self._in_flight -= 1
+
+    def describe(self) -> dict:
+        return {
+            "max_queue": self.max_queue,
+            "in_flight": self._in_flight,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

@@ -1,0 +1,367 @@
+"""The async serving front door: accept queries while others are running.
+
+:class:`FrontDoor` sits in front of a :class:`~repro.system.MatchSession`
+and turns the batch drain into an online server:
+
+- **admission control** — arrivals beyond ``max_queue`` requests in flight
+  are shed with a typed :class:`AdmissionRejected` *before* any
+  preparation work is spent on them;
+- **deadline-aware scheduling** — admitted requests become resumable
+  stepper jobs time-sliced by a pluggable policy on the session's shared
+  simulated clock, with per-request deadlines settled by the
+  :class:`~repro.serving.scheduler.ServingScheduler` core (ε-relaxed
+  partial answers or typed misses);
+- **two drive modes** — :meth:`start` spawns a scheduler thread so
+  :meth:`submit` can be called while earlier queries run (handles resolve
+  asynchronously), while :meth:`replay` runs a whole open-loop arrival
+  trace synchronously on the simulated clock (deterministic; used by the
+  benchmark and the CLI trace mode).
+
+The front door never changes what a query computes: a request served here
+(any policy, no deadline) returns byte-identical results to a standalone
+:func:`repro.match_histograms` call with the same parameters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from .admission import AdmissionController
+from .metrics import SHED, ServingMetrics
+from .policies import SchedulingPolicy
+from .request import AdmissionRejected, QueryRequest, ServingError
+from .scheduler import ServingOutcome, ServingScheduler
+
+__all__ = ["FrontDoor", "ResponseHandle"]
+
+
+class ResponseHandle:
+    """Future-like handle for one admitted request."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._event = threading.Event()
+        self._outcome: ServingOutcome | None = None
+
+    def _resolve(self, outcome: ServingOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def outcome(self, timeout: float | None = None) -> ServingOutcome:
+        """The full serving record; blocks until finalized (threaded mode)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.name!r} is still being served")
+        assert self._outcome is not None
+        return self._outcome
+
+    def result(self, timeout: float | None = None):
+        """The :class:`~repro.system.report.RunReport`, complete or partial.
+
+        Raises the outcome's typed error (:class:`DeadlineMiss` on a
+        no-partial deadline expiry, :class:`ServingError` on cancellation)
+        when no answer was produced.
+        """
+        outcome = self.outcome(timeout)
+        if outcome.report is None:
+            assert outcome.error is not None
+            raise outcome.error
+        return outcome.report
+
+
+class FrontDoor:
+    """Online admission + scheduling in front of one ``MatchSession``.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.system.MatchSession` that prepares artifacts and
+        builds resumable jobs.  The front door drives the session's shared
+        clock and backend; :meth:`shutdown` closes the session (safe even
+        if the caller closes it again — ``close`` is idempotent).
+    policy:
+        Scheduling policy name or instance (default ``"edf"``).
+    max_queue:
+        Admission bound on requests in flight; ``None`` = unbounded.
+    default_deadline_ns:
+        Deadline applied to requests that do not set their own.
+    default_max_step_rows:
+        Time-slice granularity for requests that do not set their own
+        (``None`` keeps per-round steps).
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        policy: str | SchedulingPolicy = "edf",
+        max_queue: int | None = None,
+        default_deadline_ns: float | None = None,
+        default_max_step_rows: int | None = None,
+    ) -> None:
+        self.session = session
+        self.metrics = ServingMetrics()
+        self.admission = AdmissionController(max_queue)
+        self.default_deadline_ns = default_deadline_ns
+        self.default_max_step_rows = default_max_step_rows
+        self.scheduler = ServingScheduler(
+            session.clock,
+            policy=policy,
+            backend=session.backend,
+            admission=self.admission,
+            metrics=self.metrics,
+        )
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._thread: threading.Thread | None = None
+        self._accepting = True
+        self._stopping = False
+        self._drain_on_stop = True
+        self._handles: dict[int, ResponseHandle] = {}
+
+    # ------------------------------------------------------------- submission
+
+    def _admit(self, request: QueryRequest):
+        """Admission + job construction + scheduling (caller holds the lock).
+
+        Raises :class:`AdmissionRejected` without building the job when the
+        queue is full — load shedding must not pay preparation costs.
+        """
+        name = request.name or request.query.name or "query"
+        if not self.admission.try_admit():
+            self.metrics.record_shed(
+                had_deadline=(request.deadline_ns or self.default_deadline_ns)
+                is not None
+            )
+            raise AdmissionRejected(
+                name, self.admission.in_flight, self.admission.max_queue
+            )
+        try:
+            job = self.session.make_job(
+                request.query,
+                approach=request.approach,
+                config=request.config,
+                seed=request.seed,
+                max_step_rows=(
+                    request.max_step_rows
+                    if request.max_step_rows is not None
+                    else self.default_max_step_rows
+                ),
+                name=request.name,
+            )
+            return self.scheduler.submit(
+                job,
+                deadline_ns=(
+                    request.deadline_ns
+                    if request.deadline_ns is not None
+                    else self.default_deadline_ns
+                ),
+                on_deadline=request.on_deadline,
+                name=request.name,
+            )
+        except Exception:
+            # The slot was acquired but no job will ever release it.
+            self.admission.release()
+            raise
+
+    def submit(self, request: QueryRequest) -> ResponseHandle:
+        """Admit one request while others run; returns a handle immediately.
+
+        Raises :class:`AdmissionRejected` synchronously when shed, and
+        :class:`ServingError` after shutdown.  Usable from any thread once
+        :meth:`start` has been called; without a running thread, call
+        :meth:`pump` (or :meth:`replay`) to actually serve.
+        """
+        with self._wake:
+            if not self._accepting:
+                raise ServingError("front door is shut down")
+            entry = self._admit(request)
+            handle = ResponseHandle(entry.name)
+            self._handles[entry.seq] = handle
+            self._wake.notify_all()
+            return handle
+
+    # -------------------------------------------------------------- execution
+
+    def _dispatch(self) -> list[ServingOutcome]:
+        """Resolve handles for everything finalized since the last call."""
+        outcomes = []
+        for entry in self.scheduler.take_finished():
+            assert entry.outcome is not None
+            outcomes.append(entry.outcome)
+            handle = self._handles.pop(entry.seq, None)
+            if handle is not None:
+                handle._resolve(entry.outcome)
+        return outcomes
+
+    def pump(self) -> list[ServingOutcome]:
+        """Serve synchronously until idle (no-thread mode); returns the
+        outcomes finalized by this call, in submission order."""
+        with self._lock:
+            while self.scheduler.step():
+                pass
+            return self._dispatch()
+
+    def _loop(self) -> None:
+        reason = "front door shut down mid-flight"
+        try:
+            while True:
+                with self._wake:
+                    if self._stopping and (
+                        not self._drain_on_stop or self.scheduler.idle
+                    ):
+                        break
+                    if self.scheduler.idle:
+                        self._wake.wait(timeout=0.05)
+                        continue
+                    self.scheduler.step()
+                    self._dispatch()
+        except Exception as exc:
+            # A failing job must not strand the other requests' handles:
+            # the failure is folded into every unresolved outcome below.
+            reason = f"front door scheduler failed: {exc!r}"
+        finally:
+            with self._wake:
+                self._stopping = True
+                self._accepting = False
+                self.scheduler.cancel_pending(reason)
+                self._dispatch()
+
+    def start(self) -> "FrontDoor":
+        """Spawn the scheduler thread; requests are then served as they come."""
+        with self._wake:
+            if self._stopping:
+                raise ServingError("front door is shut down")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-front-door", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(
+        self, trace: Iterable[tuple[float, QueryRequest]]
+    ) -> tuple[ServingOutcome, ...]:
+        """Serve an open-loop arrival trace on the simulated clock.
+
+        ``trace`` holds ``(arrival_ns, request)`` pairs.  Arrivals are
+        injected once the clock reaches their timestamp — the server cannot
+        peek at future requests — and the clock *idles forward* to the next
+        arrival whenever the queue is empty, exactly like a real server
+        waiting for traffic.  Requests that arrive while the server is
+        mid-slice are admitted at the next step boundary but backdated to
+        their arrival time, so latency and deadlines are measured
+        open-loop.  Shed arrivals yield :data:`SHED` outcomes.
+
+        Synchronous and deterministic; mutually exclusive with
+        :meth:`start`.  Returns every outcome of the trace, in arrival
+        order.
+        """
+        with self._lock:
+            if self._thread is not None:
+                raise ServingError("replay() cannot run alongside start()")
+            if not self._accepting:
+                raise ServingError("front door is shut down")
+            events = sorted(trace, key=lambda pair: pair[0])
+            clock = self.session.clock
+            by_arrival: dict[int, ServingOutcome] = {}
+            arrival_of: dict[int, int] = {}  # entry.seq -> arrival index
+            cursor = 0
+            while True:
+                while (
+                    cursor < len(events)
+                    and events[cursor][0] <= clock.elapsed_ns
+                ):
+                    arrival_ns, request = events[cursor]
+                    index = cursor
+                    cursor += 1
+                    try:
+                        entry = self._admit(request)
+                        # Open-loop: latency and deadline run from arrival.
+                        entry.submitted_ns = arrival_ns
+                        if request.deadline_ns is not None:
+                            entry.deadline_ns = arrival_ns + request.deadline_ns
+                        elif self.default_deadline_ns is not None:
+                            entry.deadline_ns = arrival_ns + self.default_deadline_ns
+                        arrival_of[entry.seq] = index
+                    except AdmissionRejected as exc:
+                        by_arrival[index] = ServingOutcome(
+                            name=exc.name,
+                            status=SHED,
+                            report=None,
+                            submitted_ns=arrival_ns,
+                            finished_ns=arrival_ns,
+                            steps=0,
+                            service_ns=0.0,
+                            deadline_ns=None,
+                            error=exc,
+                        )
+                worked = self.scheduler.step()
+                for entry in self.scheduler.take_finished():
+                    assert entry.outcome is not None
+                    index = arrival_of.get(entry.seq)
+                    if index is not None:
+                        by_arrival[index] = entry.outcome
+                    # Requests submitted via submit() before the replay have
+                    # no trace arrival; they report through their handles
+                    # only and stay out of the trace's outcome list.
+                    handle = self._handles.pop(entry.seq, None)
+                    if handle is not None:
+                        handle._resolve(entry.outcome)
+                if not worked:
+                    if cursor >= len(events):
+                        break
+                    gap = events[cursor][0] - clock.elapsed_ns
+                    if gap > 0:
+                        clock.charge_serial(idle=gap)
+            return tuple(by_arrival[i] for i in sorted(by_arrival))
+
+    # ---------------------------------------------------------------- shutdown
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop accepting, finish (or cancel) in-flight work, close the session.
+
+        ``drain=True`` serves every admitted request to its normal outcome
+        first; ``drain=False`` cancels in-flight requests, resolving their
+        handles with a :class:`ServingError`.  Idempotent, and the session
+        close underneath is idempotent too — a caller that also closes the
+        session (or calls shutdown twice) is safe.
+
+        Returns True once everything is stopped and the session is closed.
+        When ``timeout`` expires with the scheduler thread still draining,
+        returns False *without* closing the session (closing the backend
+        under a thread that is still stepping would fail its in-flight
+        query); call :meth:`shutdown` again to finish.
+        """
+        with self._wake:
+            already = self._stopping
+            self._accepting = False
+            self._stopping = True
+            self._drain_on_stop = drain
+            self._wake.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                return False
+        elif not already:
+            with self._lock:
+                if drain:
+                    while self.scheduler.step():
+                        pass
+                self.scheduler.cancel_pending("front door shut down mid-flight")
+                self._dispatch()
+        self.session.close()
+        return True
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

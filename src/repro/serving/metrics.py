@@ -1,0 +1,110 @@
+"""Serving metrics: what the front door observed, snapshottable at any time.
+
+The counters update as requests finalize; :meth:`ServingMetrics.snapshot`
+condenses them into a frozen :class:`~repro.system.report.ServingReport`
+(percentile latencies, deadline-hit rate, shed count) for benchmarks and
+the CLI.  Not internally locked — the owning front door serializes updates
+under its own lock, and a torn read of a snapshot taken mid-update is at
+worst one request stale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.report import ServingReport
+
+__all__ = ["ServingMetrics"]
+
+#: Outcome statuses (mirrored by :class:`repro.serving.ServingOutcome`).
+COMPLETED = "completed"
+PARTIAL = "partial"
+MISS = "miss"
+SHED = "shed"
+CANCELLED = "cancelled"
+
+
+class ServingMetrics:
+    """Mutable counters + latency samples behind the snapshot API."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.partial = 0
+        self.missed = 0
+        self.shed = 0
+        self.cancelled = 0
+        self.deadline_requests = 0
+        self.deadline_hits = 0
+        self._latencies_ns: list[float] = []
+        self._service_ns: list[float] = []
+
+    # ------------------------------------------------------------- recording
+
+    def record_outcome(self, outcome) -> None:
+        """Fold one finalized :class:`ServingOutcome` into the counters."""
+        if outcome.status == COMPLETED:
+            self.completed += 1
+        elif outcome.status == PARTIAL:
+            self.partial += 1
+        elif outcome.status == MISS:
+            self.missed += 1
+        elif outcome.status == CANCELLED:
+            self.cancelled += 1
+        else:  # pragma: no cover - statuses are closed
+            raise ValueError(f"unknown outcome status {outcome.status!r}")
+        if outcome.deadline_ns is not None:
+            self.deadline_requests += 1
+            if outcome.deadline_hit:
+                self.deadline_hits += 1
+        self._latencies_ns.append(outcome.latency_ns)
+        self._service_ns.append(outcome.service_ns)
+
+    def record_shed(self, had_deadline: bool = True) -> None:
+        """One request shed at admission (it never ran; no latency sample).
+
+        Shed requests count against the deadline-hit rate when they carried
+        a deadline — shedding must not flatter the rate it exists to
+        protect.
+        """
+        self.shed += 1
+        if had_deadline:
+            self.deadline_requests += 1
+
+    # ------------------------------------------------------------- snapshot
+
+    @property
+    def requests(self) -> int:
+        return (
+            self.completed + self.partial + self.missed + self.cancelled + self.shed
+        )
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Hits over deadline-carrying requests (1.0 when none had deadlines)."""
+        if self.deadline_requests == 0:
+            return 1.0
+        return self.deadline_hits / self.deadline_requests
+
+    def snapshot(self) -> ServingReport:
+        """Frozen aggregate view of everything recorded so far."""
+        lat = np.asarray(self._latencies_ns, dtype=np.float64)
+        svc = np.asarray(self._service_ns, dtype=np.float64)
+        p50, p95, p99 = (
+            (np.percentile(lat, (50, 95, 99)) * 1e-6).tolist()
+            if lat.size
+            else (0.0, 0.0, 0.0)
+        )
+        return ServingReport(
+            requests=self.requests,
+            completed=self.completed,
+            partial=self.partial,
+            missed=self.missed,
+            shed=self.shed,
+            cancelled=self.cancelled,
+            deadline_hit_rate=self.deadline_hit_rate,
+            p50_latency_ms=p50,
+            p95_latency_ms=p95,
+            p99_latency_ms=p99,
+            mean_latency_ms=float(lat.mean() * 1e-6) if lat.size else 0.0,
+            mean_service_ms=float(svc.mean() * 1e-6) if svc.size else 0.0,
+        )

@@ -1,0 +1,116 @@
+"""Scheduling policies: which admitted query gets the next time slice.
+
+Every policy sees the same runnable set (admitted, unfinished, unexpired
+jobs in submission order) and picks one to advance by one bounded step.
+Because steps are bounded (``max_step_rows`` slices a round's sampling),
+policy choice controls *latency shape*, never results: any policy yields
+byte-identical per-query answers, a property the serving tests pin.
+
+- **fifo** — strict arrival order, run-to-completion.  Simple, but one
+  heavy query convoys everyone behind it.
+- **rr** — round-robin: least-recently-stepped first.  Fair time-slicing,
+  the PR-2 drain behaviour.
+- **edf** — earliest deadline first: the classic result that EDF maximizes
+  deadline hits on a single server when feasible; requests without
+  deadlines run in arrival order behind every deadline-carrying request.
+- **cost** — shortest expected remaining cost, using the paper's own
+  budgeting machinery (Eq. 1 round budgets + the stage-3 target) as the
+  estimate: SRPT-style mean-latency minimization.
+
+Ties break by submission order everywhere, which also makes every policy
+starvation-free on a finite workload: the tie-break is strict and a job's
+key never moves behind a job it already beats.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = [
+    "POLICIES",
+    "EdfPolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "ShortestCostPolicy",
+    "make_policy",
+]
+
+
+class SchedulingPolicy(ABC):
+    """Strategy choosing the next job to advance by one step."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, runnable: Sequence, now_ns: float):
+        """Pick one entry from ``runnable`` (non-empty, submission order).
+
+        Entries expose ``seq`` (submission order), ``rr_key`` (bumped to a
+        fresh global counter after every step), ``deadline_ns`` (absolute,
+        or ``None``), and ``estimated_remaining()`` (rows, ``inf`` when the
+        job offers no estimate).
+        """
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Arrival order, run-to-completion."""
+
+    name = "fifo"
+
+    def select(self, runnable, now_ns):
+        return min(runnable, key=lambda e: e.seq)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Least-recently-stepped first — each alive job advances once per cycle."""
+
+    name = "rr"
+
+    def select(self, runnable, now_ns):
+        return min(runnable, key=lambda e: e.rr_key)
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest (absolute) deadline first; deadline-free jobs go last, FIFO."""
+
+    name = "edf"
+
+    def select(self, runnable, now_ns):
+        return min(
+            runnable,
+            key=lambda e: (
+                e.deadline_ns if e.deadline_ns is not None else float("inf"),
+                e.seq,
+            ),
+        )
+
+
+class ShortestCostPolicy(SchedulingPolicy):
+    """Shortest expected remaining cost (the paper's lookahead estimate)."""
+
+    name = "cost"
+
+    def select(self, runnable, now_ns):
+        return min(runnable, key=lambda e: (e.estimated_remaining(), e.seq))
+
+
+#: Policy names accepted by the CLI and :func:`make_policy`.
+POLICIES = ("fifo", "rr", "edf", "cost")
+
+_POLICY_CLASSES = {
+    FifoPolicy.name: FifoPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    EdfPolicy.name: EdfPolicy,
+    ShortestCostPolicy.name: ShortestCostPolicy,
+}
+
+
+def make_policy(spec: str | SchedulingPolicy) -> SchedulingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    if spec in _POLICY_CLASSES:
+        return _POLICY_CLASSES[spec]()
+    raise ValueError(f"policy must be one of {POLICIES}, got {spec!r}")

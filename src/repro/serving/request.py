@@ -1,0 +1,111 @@
+"""Request/response vocabulary of the serving front door.
+
+A :class:`QueryRequest` is what an online client hands the front door: the
+histogram-matching question plus serving-level intent — a deadline on the
+simulated clock and what should happen when it is missed.  Admission and
+deadline failures are typed (:class:`AdmissionRejected`,
+:class:`DeadlineMiss`) so callers can branch on them instead of parsing
+strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import HistSimConfig
+from ..query.spec import HistogramQuery
+
+__all__ = [
+    "ON_DEADLINE",
+    "AdmissionRejected",
+    "DeadlineMiss",
+    "QueryRequest",
+    "ServingError",
+]
+
+#: What to do when a request's deadline expires before its run completes:
+#: ``"partial"`` returns the current top-k with its actually-achieved ε/δ;
+#: ``"miss"`` returns no answer and a typed :class:`DeadlineMiss`.
+ON_DEADLINE = ("partial", "miss")
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class AdmissionRejected(ServingError):
+    """The front door shed a request because its queue was full (or closed)."""
+
+    def __init__(self, name: str, in_flight: int, max_queue: int | None) -> None:
+        self.name = name
+        self.in_flight = in_flight
+        self.max_queue = max_queue
+        bound = "closed" if max_queue is None else f"max_queue={max_queue}"
+        super().__init__(
+            f"request {name!r} shed: {in_flight} request(s) in flight ({bound})"
+        )
+
+
+class DeadlineMiss(ServingError):
+    """A request's deadline expired and it asked for no partial answer."""
+
+    def __init__(self, name: str, deadline_ns: float, elapsed_ns: float) -> None:
+        self.name = name
+        self.deadline_ns = deadline_ns
+        self.elapsed_ns = elapsed_ns
+        super().__init__(
+            f"request {name!r} missed its deadline "
+            f"({deadline_ns * 1e-6:.3f} ms; clock at {elapsed_ns * 1e-6:.3f} ms)"
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One online histogram-matching request.
+
+    Attributes
+    ----------
+    query:
+        The histogram-generating query template.
+    approach:
+        Execution approach (as in :func:`repro.match_histograms`).
+    config:
+        Optional explicit :class:`HistSimConfig`; defaults to the session's
+        per-query default (``k`` from the query, moderate tolerances).
+    seed:
+        Sampling/shuffle seed — requests with equal seeds share prepared
+        artifacts through the session cache.
+    max_step_rows:
+        Scheduler time-slice: rows sampled per step.  ``None`` keeps the
+        stepper's natural (per-round) granularity; smaller values preempt
+        finer at slightly more stepping overhead.
+    deadline_ns:
+        Deadline on the simulated clock, **relative to admission** (or to
+        the open-loop arrival time during trace replay).  ``None`` means no
+        deadline.
+    on_deadline:
+        ``"partial"`` (default) or ``"miss"`` — see :data:`ON_DEADLINE`.
+    name:
+        Display name; defaults to the query's name.
+    """
+
+    query: HistogramQuery
+    approach: str = "fastmatch"
+    config: HistSimConfig | None = None
+    seed: int = 0
+    max_step_rows: int | None = None
+    deadline_ns: float | None = None
+    on_deadline: str = "partial"
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.on_deadline not in ON_DEADLINE:
+            raise ValueError(
+                f"on_deadline must be one of {ON_DEADLINE}, got {self.on_deadline!r}"
+            )
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError(f"deadline_ns must be positive, got {self.deadline_ns}")
+        if self.max_step_rows is not None and self.max_step_rows < 1:
+            raise ValueError(
+                f"max_step_rows must be >= 1, got {self.max_step_rows}"
+            )

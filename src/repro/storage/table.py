@@ -64,6 +64,11 @@ class ColumnTable:
     def cardinality(self, name: str) -> int:
         return self.schema.cardinality(name)
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all encoded columns (cache accounting)."""
+        return sum(col.nbytes for col in self._columns.values())
+
     def permuted(self, rng: np.random.Generator) -> "ColumnTable":
         """Row-shuffled copy — the paper's preprocessing for locality-friendly
         sampling (a sequential scan of the shuffled table is a uniform

@@ -10,9 +10,14 @@ from .fastmatch import (
     make_engine,
     run_approach,
 )
-from .report import RunReport
+from .report import RunReport, ServingReport
 from .scan import run_scan
-from .scheduler import JobOutcome, RoundRobinScheduler, ScheduleResult
+from .scheduler import (
+    BatchScheduler,
+    JobOutcome,
+    RoundRobinScheduler,
+    ScheduleResult,
+)
 from .session import CacheStats, MatchSession
 from .stats_engine import StatsEngine
 from .visualize import render_comparison, render_histogram, render_result
@@ -27,9 +32,11 @@ __all__ = [
     "make_engine",
     "run_approach",
     "RunReport",
+    "ServingReport",
     "run_scan",
     "SimulatedClock",
     "StatsEngine",
+    "BatchScheduler",
     "JobOutcome",
     "RoundRobinScheduler",
     "ScheduleResult",

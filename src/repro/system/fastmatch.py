@@ -191,13 +191,19 @@ def assemble_report(
     audit: bool = True,
     query_name: str | None = None,
     backend: str = "serial",
+    partial: bool = False,
+    achieved_epsilon: float | None = None,
+    achieved_delta: float | None = None,
 ) -> RunReport:
     """Package one execution's outcome, auditing against the cached truth.
 
     Shared by :func:`run_approach` and the session jobs so the report shape
-    stays in one place."""
+    stays in one place.  ``partial`` marks a deadline-cut answer (serving
+    front door); partial answers carry their actually-achieved ε/δ and are
+    never audited against the full guarantees they do not claim.
+    """
     report_audit = None
-    if audit:
+    if audit and not partial:
         report_audit = audit_result(
             result, prepared.exact_counts, prepared.target, config.epsilon, config.sigma
         )
@@ -212,6 +218,9 @@ def assemble_report(
         counters=counters,
         audit=report_audit,
         backend=backend,
+        partial=partial,
+        achieved_epsilon=achieved_epsilon,
+        achieved_delta=achieved_delta,
     )
 
 
@@ -226,9 +235,10 @@ def run_approach(
 ) -> RunReport:
     """Execute one approach on a prepared query and report result + cost.
 
-    ``backend`` selects the execution backend for the sampling approaches
-    (the exact ``"scan"`` is a single full pass and always runs serial);
-    the caller owns its lifetime (:meth:`ExecutionBackend.close`).
+    ``backend`` selects the execution backend for every approach — the
+    sampling approaches shard per-window counting, the exact ``"scan"``
+    shards its single counting pass — with byte-identical results either
+    way; the caller owns its lifetime (:meth:`ExecutionBackend.close`).
     """
     if approach not in APPROACHES:
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
@@ -245,8 +255,11 @@ def run_approach(
             config.sigma,
             cost_model,
             clock,
+            backend=backend,
         )
         counters = scan_counters(prepared.shuffled)
+        if backend is not None:
+            backend_name = backend.name
     else:
         engine = make_engine(prepared, approach, config, cost_model, clock, rng, backend)
         stats_engine = StatsEngine(cost_model, clock)

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..core.guarantees import GuaranteeAudit
 from ..core.result import MatchResult
 
-__all__ = ["RunReport"]
+__all__ = ["RunReport", "ServingReport"]
 
 
 @dataclass(frozen=True)
@@ -20,6 +20,13 @@ class RunReport:
     rows delivered); ``backend`` names the execution backend that served
     the run (``"serial"`` or ``"sharded"``), so benchmark JSON derived from
     reports records how results were produced.
+
+    ``partial`` marks a deadline-cut answer from the serving front door:
+    the result is the best current top-k estimate rather than a completed
+    run, and ``achieved_epsilon``/``achieved_delta`` record the
+    reconstruction guarantee the delivered samples *actually* bought
+    (Theorem 1 inverted; the separation guarantee does not hold for partial
+    answers).  Completed runs leave all three at their defaults.
     """
 
     approach: str
@@ -30,6 +37,9 @@ class RunReport:
     counters: dict[str, int] = field(default_factory=dict)
     audit: GuaranteeAudit | None = None
     backend: str = "serial"
+    partial: bool = False
+    achieved_epsilon: float | None = None
+    achieved_delta: float | None = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -40,3 +50,35 @@ class RunReport:
         if self.elapsed_ns <= 0:
             return float("inf")
         return baseline.elapsed_ns / self.elapsed_ns
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate front-door serving metrics over one window of requests.
+
+    Produced by :meth:`repro.serving.ServingMetrics.snapshot`.  Latency is
+    simulated time from submission (or open-loop arrival) to finalization
+    on the shared clock; percentiles cover every finalized request
+    (completed, partial, or missed — shed requests never ran, so they have
+    no latency).  ``deadline_hit_rate`` is completions within their
+    deadline over all deadline-carrying requests, with shed and cancelled
+    requests counted as misses: a front door that sheds its way to fast
+    percentiles should not also get a flattering hit rate.
+    """
+
+    requests: int
+    completed: int
+    partial: int
+    missed: int
+    shed: int
+    cancelled: int
+    deadline_hit_rate: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    mean_service_ms: float
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for benchmark output."""
+        return asdict(self)

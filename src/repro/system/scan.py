@@ -11,6 +11,7 @@ import numpy as np
 
 from ..core.distance import candidate_distances
 from ..core.result import MatchResult, StageStats
+from ..parallel.backend import ExecutionBackend
 from ..query.executor import exact_candidate_counts
 from ..query.spec import HistogramQuery
 from ..storage.cost_model import CostModel
@@ -28,15 +29,20 @@ def run_scan(
     sigma: float,
     cost_model: CostModel,
     clock: SimulatedClock | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> tuple[MatchResult, SimulatedClock]:
-    """Exact top-k via a complete pass; returns the result and the clock."""
+    """Exact top-k via a complete pass; returns the result and the clock.
+
+    ``backend`` routes the counting pass (byte-identical across backends);
+    the simulated I/O cost is the same sequential full scan either way.
+    """
     clock = clock or SimulatedClock()
     table = shuffled.table
 
     # One sequential pass over every block.
     clock.charge_serial(io=cost_model.scan_cost(table.num_rows, shuffled.num_blocks))
 
-    counts = exact_candidate_counts(table, query)
+    counts = exact_candidate_counts(table, query, backend=backend)
     rows = counts.sum(axis=1)
     total = rows.sum()
     num_z, num_x = counts.shape

@@ -1,18 +1,21 @@
-"""Round-robin interleaving of many resumable queries on one simulated clock.
+"""Batch draining of many resumable queries on one simulated clock.
 
 The stepper (:class:`~repro.core.histsim.HistSimStepper`) makes a HistSim
-run interruptible at bounded-work boundaries; this module supplies the other
-half of a serving system — a scheduler that drains many such runs
-concurrently.  All jobs charge one shared :class:`SimulatedClock`, so the
-clock models a single-threaded server interleaving queries: a query's
-*latency* (submission → completion on the shared clock) includes the time
-spent serving its neighbours, while its *service time* counts only its own
-steps.  Aggregate throughput is completed queries per simulated second.
+run interruptible at bounded-work boundaries; the *online* half of the
+serving system lives in :mod:`repro.serving` (front door, admission
+control, deadlines).  This module keeps the batch-shaped view: submit a set
+of jobs, drain them to completion, get per-query latency and aggregate
+throughput on the shared clock.
 
-Scheduling is deliberately plain round-robin: every alive job advances by
-one step per cycle.  Because each step is one bounded unit of sampling +
-testing, cheap queries finish early and leave the rotation, which is enough
-to demonstrate the serving architecture without a priority model.
+:class:`BatchScheduler` is a thin adapter over the serving core
+(:class:`~repro.serving.scheduler.ServingScheduler`) with a pluggable
+policy and no deadlines; :class:`RoundRobinScheduler` is the
+backward-compatible PR-2 name, pinned to the round-robin policy.  All jobs
+charge one shared :class:`SimulatedClock`, so the clock models a
+single-threaded server interleaving queries: a query's *latency*
+(submission → completion on the shared clock) includes the time spent
+serving its neighbours, while its *service time* counts only its own
+steps.  Aggregate throughput is completed queries per simulated second.
 """
 
 from __future__ import annotations
@@ -20,10 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from ..serving.scheduler import ServingScheduler
 from .clock import SimulatedClock
 from .report import RunReport
 
-__all__ = ["SchedulableJob", "JobOutcome", "ScheduleResult", "RoundRobinScheduler"]
+__all__ = [
+    "SchedulableJob",
+    "JobOutcome",
+    "ScheduleResult",
+    "BatchScheduler",
+    "RoundRobinScheduler",
+]
 
 
 @runtime_checkable
@@ -118,22 +128,8 @@ class ScheduleResult:
         return sum(o.latency_seconds for o in self.outcomes) / len(self.outcomes)
 
 
-class _Entry:
-    """Scheduler-internal bookkeeping wrapped around one job."""
-
-    __slots__ = ("job", "submitted_ns", "service_ns", "steps", "outcome", "reported")
-
-    def __init__(self, job: SchedulableJob, submitted_ns: float) -> None:
-        self.job = job
-        self.submitted_ns = submitted_ns
-        self.service_ns = 0.0
-        self.steps = 0
-        self.outcome: JobOutcome | None = None
-        self.reported = False
-
-
-class RoundRobinScheduler:
-    """Interleave steps of many jobs over one shared simulated clock.
+class BatchScheduler:
+    """Drain-style adapter over the serving core: submit, run, report.
 
     Parameters
     ----------
@@ -146,58 +142,56 @@ class RoundRobinScheduler:
         jobs sample through; recorded on every :class:`ScheduleResult` for
         attribution.  The scheduler never drives the backend itself — jobs
         route their own sampling — so ``None`` simply means "serial".
+    policy:
+        Scheduling policy name or instance (:data:`repro.serving.POLICIES`).
+        The policy shapes per-query latency only; every policy produces
+        identical per-query results.
     """
 
-    def __init__(self, clock: SimulatedClock, backend=None) -> None:
+    def __init__(self, clock: SimulatedClock, backend=None, policy="rr") -> None:
         self.clock = clock
         self.backend = backend
-        self._entries: list[_Entry] = []
+        self._core = ServingScheduler(clock, policy=policy, backend=backend)
+
+    @property
+    def policy(self):
+        return self._core.policy
 
     @property
     def pending(self) -> int:
         """Jobs submitted but not yet finished."""
-        return sum(1 for e in self._entries if e.outcome is None)
+        return self._core.pending
 
     def add(self, job: SchedulableJob) -> None:
         """Submit a job; its latency clock starts now."""
-        self._entries.append(_Entry(job, submitted_ns=self.clock.elapsed_ns))
-
-    def _advance(self, entry: _Entry) -> None:
-        before = self.clock.elapsed_ns
-        entry.job.step()
-        entry.service_ns += self.clock.elapsed_ns - before
-        entry.steps += 1
-        if entry.job.done:
-            report = entry.job.finish(entry.service_ns)
-            entry.outcome = JobOutcome(
-                name=entry.job.name,
-                report=report,
-                submitted_ns=entry.submitted_ns,
-                finished_ns=self.clock.elapsed_ns,
-                steps=entry.steps,
-            )
+        self._core.submit(job)
 
     def run(self) -> ScheduleResult:
-        """Drain every pending job round-robin; returns the outcomes of jobs
-        completed by this drain (in submission order), so repeated
+        """Drain every pending job under the policy; returns the outcomes of
+        jobs completed by this drain (in submission order), so repeated
         submit/run cycles never double-report.  Jobs added while draining
         join the rotation."""
         start_ns = self.clock.elapsed_ns
-        while True:
-            alive = [e for e in self._entries if e.outcome is None]
-            if not alive:
-                break
-            for entry in alive:
-                if entry.outcome is None:
-                    self._advance(entry)
-        fresh = [
-            e for e in self._entries if e.outcome is not None and not e.reported
-        ]
-        for entry in fresh:
-            entry.reported = True
+        outcomes = tuple(
+            JobOutcome(
+                name=o.name,
+                report=o.report,
+                submitted_ns=o.submitted_ns,
+                finished_ns=o.finished_ns,
+                steps=o.steps,
+            )
+            for o in self._core.run_until_idle()
+        )
         return ScheduleResult(
-            outcomes=tuple(e.outcome for e in fresh),
+            outcomes=outcomes,
             elapsed_ns=self.clock.elapsed_ns - start_ns,
-            total_steps=sum(e.steps for e in fresh),
+            total_steps=sum(o.steps for o in outcomes),
             backend=self.backend.describe() if self.backend is not None else None,
         )
+
+
+class RoundRobinScheduler(BatchScheduler):
+    """The PR-2 drain: :class:`BatchScheduler` pinned to round-robin."""
+
+    def __init__(self, clock: SimulatedClock, backend=None) -> None:
+        super().__init__(clock, backend=backend, policy="rr")

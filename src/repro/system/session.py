@@ -13,9 +13,15 @@ into the skeleton of a serving system:
   per query.
 - **Interleaved execution** — each submitted query runs as a resumable
   :class:`~repro.core.histsim.HistSimStepper` over its own sampling engine,
-  and a :class:`~repro.system.scheduler.RoundRobinScheduler` interleaves
-  their steps on the session's shared simulated clock, reporting per-query
-  latency and aggregate throughput.
+  and a :class:`~repro.system.scheduler.BatchScheduler` (policy-pluggable;
+  round-robin by default) interleaves their steps on the session's shared
+  simulated clock, reporting per-query latency and aggregate throughput.
+  For *online* serving — accepting requests while others run, admission
+  control, deadlines — put a :class:`repro.serving.FrontDoor` in front
+  (:meth:`MatchSession.serve`).
+- **Bounded caches** — ``max_cached_queries``/``max_cached_bytes`` turn
+  the artifact cache into an LRU for long-lived serving deployments, with
+  shared-memory segment unpublish on eviction.
 
 Results are identical to standalone :func:`~repro.system.fastmatch.run_approach`
 runs with the same prepared query, config, and seed: interleaving reorders
@@ -24,6 +30,7 @@ only *when* each query's work happens on the clock, never *what* it samples.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,7 +58,7 @@ from .fastmatch import (
 )
 from .report import RunReport
 from .scan import run_scan
-from .scheduler import JobOutcome, RoundRobinScheduler, ScheduleResult
+from .scheduler import BatchScheduler, JobOutcome, ScheduleResult
 from .stats_engine import StatsEngine
 
 __all__ = ["CacheStats", "MatchSession"]
@@ -59,14 +66,18 @@ __all__ = ["CacheStats", "MatchSession"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for the session's prepared-artifact cache layers."""
+    """Hit/miss/eviction counters for the session's artifact cache layers."""
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    evictions: dict[str, int] = field(default_factory=dict)
 
     def record(self, layer: str, hit: bool) -> None:
         counter = self.hits if hit else self.misses
         counter[layer] = counter.get(layer, 0) + 1
+
+    def record_eviction(self, layer: str) -> None:
+        self.evictions[layer] = self.evictions.get(layer, 0) + 1
 
     @property
     def total_hits(self) -> int:
@@ -76,12 +87,18 @@ class CacheStats:
     def total_misses(self) -> int:
         return sum(self.misses.values())
 
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.evictions.values())
+
     def summary(self) -> str:
         layers = sorted(set(self.hits) | set(self.misses))
         parts = [
             f"{layer}={self.hits.get(layer, 0)}h/{self.misses.get(layer, 0)}m"
             for layer in layers
         ]
+        if self.total_evictions:
+            parts.append(f"evicted={self.total_evictions}")
         return " ".join(parts) if parts else "empty"
 
 
@@ -124,6 +141,10 @@ class _StepperJob:
     def step(self) -> None:
         self.stepper.step()
 
+    def estimated_remaining_rows(self) -> float:
+        """Cost hint for shortest-expected-remaining-cost scheduling."""
+        return self.stepper.estimated_remaining_rows()
+
     def finish(self, service_ns: float) -> RunReport:
         return assemble_report(
             self.prepared,
@@ -135,6 +156,25 @@ class _StepperJob:
             audit=self._audit,
             query_name=self.name,
             backend=self.engine.backend.name,
+        )
+
+    def finish_partial(self, service_ns: float) -> RunReport:
+        """Deadline-cut answer: the current top-k estimate, stamped with the
+        ε the delivered samples actually achieved (Theorem 1 inverted)."""
+        result = self.stepper.partial_result()
+        return assemble_report(
+            self.prepared,
+            self.approach,
+            result,
+            self.config,
+            service_ns,
+            engine_counters(self.engine),
+            audit=False,
+            query_name=self.name,
+            backend=self.engine.backend.name,
+            partial=not self.stepper.done,
+            achieved_epsilon=self.stepper.achieved_epsilon(result.matching),
+            achieved_delta=self.config.delta,
         )
 
 
@@ -149,6 +189,7 @@ class _ScanJob:
         cost_model: CostModel,
         clock: SimulatedClock,
         audit: bool,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.name = name
         self.approach = "scan"
@@ -157,11 +198,16 @@ class _ScanJob:
         self.cost_model = cost_model
         self.clock = clock
         self._audit = audit
+        self._backend = backend
         self._result = None
 
     @property
     def done(self) -> bool:
         return self._result is not None
+
+    def estimated_remaining_rows(self) -> float:
+        """Cost hint for serving policies: a scan reads every row, once."""
+        return 0.0 if self.done else float(self.prepared.shuffled.num_rows)
 
     def step(self) -> None:
         self._result, _ = run_scan(
@@ -172,6 +218,7 @@ class _ScanJob:
             self.config.sigma,
             self.cost_model,
             self.clock,
+            backend=self._backend,
         )
 
     def finish(self, service_ns: float) -> RunReport:
@@ -184,6 +231,7 @@ class _ScanJob:
             scan_counters(self.prepared.shuffled),
             audit=self._audit,
             query_name=self.name,
+            backend=self._backend.name if self._backend is not None else "serial",
         )
 
 
@@ -211,6 +259,20 @@ class MatchSession:
         can be shared across sessions; its creator closes it.
     workers:
         Worker-process count for ``backend="sharded"`` (default: CPU count).
+    policy:
+        Scheduling policy for the batch drain
+        (:data:`repro.serving.POLICIES`; default round-robin).  Latency
+        shaping only — per-query results are policy-independent.
+    max_cached_queries, max_cached_bytes:
+        Bounds on the prepared-artifact cache for long-lived serving
+        sessions: exceeding either evicts least-recently-used prepared
+        queries, releasing sub-artifacts (shuffle, index, ground truth,
+        row filters) that no cached query references any more — including
+        their shared-memory segments via
+        :meth:`~repro.parallel.ExecutionBackend.unpublish`.  ``None``
+        (default) keeps the PR-2 unbounded behaviour.  The most recent
+        entry is never evicted, so a single query larger than
+        ``max_cached_bytes`` still runs.
 
     Usage
     -----
@@ -230,7 +292,16 @@ class MatchSession:
         audit: bool = True,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        policy: str = "rr",
+        max_cached_queries: int | None = None,
+        max_cached_bytes: int | None = None,
     ) -> None:
+        if max_cached_queries is not None and max_cached_queries < 1:
+            raise ValueError(
+                f"max_cached_queries must be >= 1, got {max_cached_queries}"
+            )
+        if max_cached_bytes is not None and max_cached_bytes < 1:
+            raise ValueError(f"max_cached_bytes must be >= 1, got {max_cached_bytes}")
         self.table = table
         self.block_size = block_size
         self.cost_model = cost_model
@@ -238,14 +309,17 @@ class MatchSession:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(backend, workers)
         self.clock = SimulatedClock()
-        self.scheduler = RoundRobinScheduler(self.clock, backend=self.backend)
+        self.scheduler = BatchScheduler(self.clock, backend=self.backend, policy=policy)
         self.cache_stats = CacheStats()
+        self.max_cached_queries = max_cached_queries
+        self.max_cached_bytes = max_cached_bytes
         self._shuffle_cache: dict = {}
         self._index_cache: dict = {}
         self._exact_cache: dict = {}
         self._filter_cache: dict = {}
-        self._prepared_cache: dict = {}
+        self._prepared_cache: OrderedDict = OrderedDict()
         self._submitted = 0
+        self.closed = False
 
     # -------------------------------------------------------------- artifacts
 
@@ -261,6 +335,90 @@ class MatchSession:
         """Total prepared-artifact cache hits across all layers."""
         return self.cache_stats.total_hits
 
+    @property
+    def cache_bytes(self) -> int:
+        """Bytes held by artifacts the cached prepared queries reference.
+
+        Shared artifacts are counted once (two queries over one shuffle pay
+        for it once), matching what eviction can actually free.
+        """
+        seen: set[int] = set()
+        total = 0
+        for prepared in self._prepared_cache.values():
+            for obj, nbytes in (
+                (prepared.shuffled, prepared.shuffled.table.nbytes),
+                (prepared.index, prepared.index.nbytes),
+                (prepared.exact_counts, prepared.exact_counts.nbytes),
+                (
+                    prepared.row_filter,
+                    prepared.row_filter.nbytes
+                    if prepared.row_filter is not None
+                    else 0,
+                ),
+            ):
+                if obj is None or id(obj) in seen:
+                    continue
+                seen.add(id(obj))
+                total += nbytes
+        return total
+
+    def _release_artifacts(self, evicted: PreparedQuery) -> None:
+        """Drop the evicted entry's sub-artifacts no live entry still uses,
+        and unpublish their shared-memory segments from the backend."""
+        live = list(self._prepared_cache.values())
+        unpublish: list = []
+        if not any(p.shuffled is evicted.shuffled for p in live):
+            self._shuffle_cache = {
+                k: v for k, v in self._shuffle_cache.items() if v is not evicted.shuffled
+            }
+            self.cache_stats.record_eviction("shuffle")
+            unpublish.append(evicted.shuffled.table)
+        if not any(p.index is evicted.index for p in live):
+            self._index_cache = {
+                k: v for k, v in self._index_cache.items() if v is not evicted.index
+            }
+            self.cache_stats.record_eviction("index")
+        if not any(p.exact_counts is evicted.exact_counts for p in live):
+            self._exact_cache = {
+                k: v
+                for k, v in self._exact_cache.items()
+                if v is not evicted.exact_counts
+            }
+            self.cache_stats.record_eviction("ground_truth")
+        if evicted.row_filter is not None and not any(
+            p.row_filter is evicted.row_filter for p in live
+        ):
+            self._filter_cache = {
+                k: v for k, v in self._filter_cache.items() if v is not evicted.row_filter
+            }
+            self.cache_stats.record_eviction("row_filter")
+            unpublish.append(evicted.row_filter)
+        if unpublish:
+            self.backend.unpublish(*unpublish)
+
+    def _over_cache_bounds(self) -> bool:
+        if (
+            self.max_cached_queries is not None
+            and len(self._prepared_cache) > self.max_cached_queries
+        ):
+            return True
+        return (
+            self.max_cached_bytes is not None
+            and self.cache_bytes > self.max_cached_bytes
+        )
+
+    def _enforce_cache_bounds(self) -> None:
+        """Evict least-recently-used prepared queries until within bounds.
+
+        The most recent entry always survives (it is the one being served),
+        so an over-budget single query degrades to cache-nothing-else
+        rather than failing.
+        """
+        while len(self._prepared_cache) > 1 and self._over_cache_bounds():
+            _, evicted = self._prepared_cache.popitem(last=False)
+            self.cache_stats.record_eviction("prepared")
+            self._release_artifacts(evicted)
+
     def prepared(self, query: HistogramQuery, seed: int = 0) -> PreparedQuery:
         """The cached :class:`PreparedQuery` for ``(query, block_size, seed)``.
 
@@ -272,6 +430,7 @@ class MatchSession:
         key = (query, self.block_size, seed)
         if key in self._prepared_cache:
             self.cache_stats.record("prepared", True)
+            self._prepared_cache.move_to_end(key)
             return self._prepared_cache[key]
         self.cache_stats.record("prepared", False)
         query.validate_against(self.table)
@@ -299,7 +458,7 @@ class MatchSession:
                 query.predicate,
             ),
             "ground_truth",
-            lambda: exact_candidate_counts(shuffled.table, query),
+            lambda: exact_candidate_counts(shuffled.table, query, backend=self.backend),
         )
         target = resolve_target(query.target, exact)
         if isinstance(query.predicate, TruePredicate):
@@ -320,6 +479,7 @@ class MatchSession:
             row_filter=row_filter,
         )
         self._prepared_cache[key] = prepared
+        self._enforce_cache_bounds()
         return prepared
 
     def adopt(self, prepared: PreparedQuery, seed: int = 0) -> None:
@@ -341,7 +501,10 @@ class MatchSession:
                 f"{prepared.shuffled.layout.block_size}; "
                 f"this session uses {self.block_size}"
             )
-        self._prepared_cache[(prepared.query, self.block_size, seed)] = prepared
+        key = (prepared.query, self.block_size, seed)
+        self._prepared_cache[key] = prepared
+        self._prepared_cache.move_to_end(key)
+        self._enforce_cache_bounds()
 
     # -------------------------------------------------------------- execution
 
@@ -350,7 +513,7 @@ class MatchSession:
             return config
         return HistSimConfig(k=query.k, epsilon=0.1, delta=0.01, sigma=0.0)
 
-    def submit(
+    def make_job(
         self,
         query: HistogramQuery,
         *,
@@ -360,14 +523,18 @@ class MatchSession:
         max_step_rows: int | None = None,
         name: str | None = None,
         prepared: PreparedQuery | None = None,
-    ) -> None:
-        """Enqueue one query for the next :meth:`run`.
+    ):
+        """Prepare one query (hitting the artifact cache) and wrap it in a
+        resumable job, **without** enqueueing it.
 
-        The query is prepared immediately (hitting the artifact cache), then
-        wrapped in a resumable stepper job; ``max_step_rows`` bounds the rows
-        sampled per scheduler step for finer interleaving.  ``prepared``
-        bypasses and seeds the cache (see :meth:`adopt`).
+        This is the seam the serving front door uses: it schedules jobs on
+        its own deadline-aware scheduler rather than the session's batch
+        drain.  ``max_step_rows`` bounds the rows sampled per scheduler
+        step for finer interleaving/preemption; ``prepared`` bypasses and
+        seeds the cache (see :meth:`adopt`).
         """
+        if self.closed:
+            raise RuntimeError("MatchSession is closed")
         if approach not in APPROACHES:
             raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
         if prepared is None:
@@ -384,37 +551,91 @@ class MatchSession:
         job_name = name or query.name or f"query-{self._submitted}"
         self._submitted += 1
         if approach == "scan":
-            job = _ScanJob(
-                job_name, prepared, config, self.cost_model, self.clock, self.audit
+            return _ScanJob(
+                job_name, prepared, config, self.cost_model, self.clock, self.audit,
+                backend=self.backend,
             )
-        else:
-            job = _StepperJob(
-                job_name,
-                prepared,
-                approach,
-                config,
-                self.cost_model,
-                self.clock,
-                seed,
-                self.audit,
-                max_step_rows,
-                self.backend,
+        return _StepperJob(
+            job_name,
+            prepared,
+            approach,
+            config,
+            self.cost_model,
+            self.clock,
+            seed,
+            self.audit,
+            max_step_rows,
+            self.backend,
+        )
+
+    def submit(
+        self,
+        query: HistogramQuery,
+        *,
+        approach: str = "fastmatch",
+        config: HistSimConfig | None = None,
+        seed: int = 0,
+        max_step_rows: int | None = None,
+        name: str | None = None,
+        prepared: PreparedQuery | None = None,
+    ) -> None:
+        """Enqueue one query for the next :meth:`run` (see :meth:`make_job`)."""
+        self.scheduler.add(
+            self.make_job(
+                query,
+                approach=approach,
+                config=config,
+                seed=seed,
+                max_step_rows=max_step_rows,
+                name=name,
+                prepared=prepared,
             )
-        self.scheduler.add(job)
+        )
 
     def run(self) -> ScheduleResult:
-        """Drain all submitted queries round-robin on the shared clock."""
+        """Drain all submitted queries on the shared clock (session policy)."""
         return self.scheduler.run()
+
+    def serve(
+        self,
+        *,
+        policy: str = "edf",
+        max_queue: int | None = None,
+        default_deadline_ns: float | None = None,
+        default_max_step_rows: int | None = None,
+    ):
+        """An online :class:`~repro.serving.FrontDoor` over this session.
+
+        The front door accepts :class:`~repro.serving.QueryRequest`\\ s
+        while earlier ones run, sheds load beyond ``max_queue``, and
+        settles per-request deadlines; its shutdown closes this session
+        (idempotently).
+        """
+        from ..serving.frontdoor import FrontDoor
+
+        return FrontDoor(
+            self,
+            policy=policy,
+            max_queue=max_queue,
+            default_deadline_ns=default_deadline_ns,
+            default_max_step_rows=default_max_step_rows,
+        )
 
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
         """Release backend resources (worker pool, shared-memory segments).
 
-        Idempotent; the serial backend makes this a no-op.  Only a backend
-        the session created itself is closed — a passed-in instance belongs
-        to its creator (who may be sharing it across sessions).
+        Idempotent — the front door's shutdown path closes the session it
+        serves, and a caller using the session as a context manager then
+        closes it again; both orders are safe.  Only a backend the session
+        created itself is closed — a passed-in instance belongs to its
+        creator (who may be sharing it across sessions).  After close,
+        :meth:`make_job`/:meth:`submit` raise.
         """
+        if self.closed:
+            return
+        self.closed = True
         if self._owns_backend:
             self.backend.close()
 

@@ -142,6 +142,75 @@ class TestSharedMemoryStore:
         with pytest.raises(RuntimeError):
             store.publish("k2", np.arange(4))
 
+    def test_unpublish_unlinks_one_segment(self):
+        with SharedMemoryStore() as store:
+            store.publish("keep", np.arange(32))
+            ref = store.publish("evict", np.arange(32))
+            store.unpublish("evict")
+            assert store.keys() == ["keep"]
+            if os.path.isdir("/dev/shm"):
+                assert ref.name not in os.listdir("/dev/shm")
+            # Idempotent: unknown/already-evicted keys are ignored.
+            store.unpublish("evict")
+            store.unpublish("never-published")
+            # A fresh publish under the evicted key gets a new segment.
+            fresh = store.publish("evict", np.arange(8))
+            assert fresh.name != ref.name
+
+    def test_unpublish_then_close_is_safe(self):
+        store = SharedMemoryStore()
+        store.publish("a", np.arange(8))
+        store.publish("b", np.arange(8))
+        store.unpublish("a")
+        store.close()
+        if os.path.isdir("/dev/shm"):
+            assert not {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+
+
+class TestBackendUnpublish:
+    """Eviction hooks: artifacts matched by identity drop their segments."""
+
+    def test_sharded_unpublish_drops_table_and_filter_segments(self):
+        from repro.storage.schema import CategoricalAttribute, Schema
+        from repro.storage.table import ColumnTable
+
+        schema = Schema(
+            (
+                CategoricalAttribute("z", ("a", "b")),
+                CategoricalAttribute("x", ("u", "v")),
+            )
+        )
+        table = ColumnTable(
+            schema,
+            {"z": np.zeros(64, dtype=np.int64), "x": np.ones(64, dtype=np.int64)},
+        )
+        other = ColumnTable(
+            schema,
+            {"z": np.ones(64, dtype=np.int64), "x": np.zeros(64, dtype=np.int64)},
+        )
+        row_filter = np.ones(64, dtype=bool)
+        backend = ShardedBackend(1, min_shard_rows=0)
+        try:
+            # Publish under the exact keys the counting paths use.
+            backend.store.publish(("column", id(table), "z"), table.column("z"))
+            backend.store.publish(("column", id(table), "x"), table.column("x"))
+            backend.store.publish(("column", id(other), "z"), other.column("z"))
+            backend.store.publish(("filter", id(row_filter)), row_filter)
+            backend._pinned_tables[id(table)] = table
+            backend._pinned_tables[id(other)] = other
+            backend.unpublish(table, row_filter)
+            remaining = backend.store.keys()
+            assert remaining == [("column", id(other), "z")]
+            assert id(table) not in backend._pinned_tables
+            assert id(other) in backend._pinned_tables
+            # Unknown artifacts and repeats are no-ops.
+            backend.unpublish(table, None)
+        finally:
+            backend.close()
+
+    def test_serial_unpublish_is_a_noop(self):
+        SerialBackend().unpublish(object(), None)
+
 
 # ---------------------------------------------------------------------------
 # Counting kernel

@@ -242,14 +242,61 @@ def test_shared_backend_reused_across_sessions(table):
         assert backend.pool.alive_workers == 2
 
 
-def test_cli_rejects_inconsistent_backend_flags(table):
+def test_exact_counts_sharded_identity(table):
+    """Satellite: the ground-truth pass shards with byte-identical output,
+    with and without a predicate (the filter ships as per-shard slices)."""
+    from repro.query.executor import exact_candidate_counts
+
+    plain = HistogramQuery("z", "x", k=3)
+    filtered = HistogramQuery("z", "x", k=3, predicate=IsIn("x", (0, 1, 2, 3)))
+    with ShardedBackend(2, min_shard_rows=0) as backend:
+        for query in (plain, filtered):
+            serial = exact_candidate_counts(table, query)
+            sharded = exact_candidate_counts(table, query, backend=backend)
+            assert serial.dtype == sharded.dtype
+            assert np.array_equal(serial, sharded)
+        assert backend.shard_tasks > 0  # the pool really ran the pass
+    assert shm_files() == set()
+
+
+def test_scan_baseline_sharded_identity(table):
+    """Satellite: the Scan baseline through the sharded backend reports the
+    exact same result and simulated cost as serial."""
+    serial = run_match(table, "serial", approach="scan")
+    with ShardedBackend(2, min_shard_rows=0) as backend:
+        sharded = run_match(table, backend, approach="scan")
+    assert sharded.backend == "sharded"
+    assert sharded.result.matching == serial.result.matching
+    assert np.array_equal(sharded.result.histograms, serial.result.histograms)
+    assert sharded.elapsed_ns == serial.elapsed_ns
+    assert shm_files() == set()
+
+
+def test_cli_workers_ignored_with_warning_on_serial(table, capsys):
+    """Satellite bugfix: --workers with --backend serial is ignored with a
+    warning — neither silently accepted nor a hard error."""
     from repro.cli import main
 
-    with pytest.raises(SystemExit):
-        main(["--query", "flights-q1", "--workers", "2"])
-    with pytest.raises(SystemExit):
-        main(["--query", "flights-q1", "--approach", "scan",
-              "--backend", "sharded"])
+    code = main(["--query", "flights-q1", "--rows", "20000",
+                 "--workers", "2", "--no-render"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "--workers 2 is ignored" in captured.err
+    assert "backend    : serial" in captured.out
+
+
+def test_cli_scan_accepts_sharded_backend(table, capsys):
+    """The exact scan baseline now routes its counting pass through the
+    sharded backend (byte-identical; previously a hard CLI error)."""
+    from repro.cli import main
+
+    code = main(["--query", "flights-q1", "--rows", "20000",
+                 "--approach", "scan", "--backend", "sharded",
+                 "--workers", "2", "--no-render"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "backend    : sharded" in out
+    assert shm_files() == set()
 
 
 def test_cli_batch_sharded(table, capsys):

@@ -300,6 +300,129 @@ class TestRoundRobinScheduler:
         assert scheduler.run().outcomes == ()
 
 
+class _RecordingBackend:
+    """SerialBackend plus a log of unpublish calls (eviction hook checks)."""
+
+    def __init__(self):
+        from repro.parallel import SerialBackend
+
+        self._inner = SerialBackend()
+        self.unpublished = []
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def unpublish(self, *artifacts):
+        self.unpublished.extend(artifacts)
+
+
+class TestBoundedCache:
+    """Satellite: LRU eviction with backend unpublish on evict."""
+
+    def queries(self):
+        return [
+            HistogramQuery("product", "age",
+                           target=TargetSpec(kind="closest_to_uniform"), k=2,
+                           name="q-uniform"),
+            HistogramQuery("product", "age",
+                           target=TargetSpec(kind="candidate", candidate=4), k=2,
+                           name="q-like4"),
+            HistogramQuery("product", "channel",
+                           target=TargetSpec(kind="closest_to_uniform"), k=2,
+                           name="q-channel"),
+        ]
+
+    def test_max_cached_queries_evicts_lru(self, table):
+        from repro.parallel import ExecutionBackend
+
+        backend = _RecordingBackend()
+        assert isinstance(backend._inner, ExecutionBackend)
+        session = MatchSession(table, backend=backend._inner, max_cached_queries=2)
+        session.backend = backend  # route eviction hooks through the recorder
+        q = self.queries()
+        # Distinct seeds give each query its own shuffle, so evicting one
+        # prepared entry releases a whole shuffled table.
+        for seed, query in enumerate(q):
+            session.prepared(query, seed=seed)
+        assert session.cache_stats.evictions["prepared"] == 1
+        # The first (LRU) query's exclusive artifacts were released...
+        assert session.cache_stats.evictions.get("shuffle") == 1
+        assert any(
+            getattr(a, "num_rows", None) == table.num_rows for a in backend.unpublished
+        )
+        # ...so preparing it again is a miss, evicting the next-oldest.
+        misses_before = session.cache_stats.misses["prepared"]
+        session.prepared(q[0], seed=0)
+        assert session.cache_stats.misses["prepared"] == misses_before + 1
+        assert session.cache_stats.evictions["prepared"] == 2
+
+    def test_lru_touch_on_hit_protects_entry(self, table):
+        session = MatchSession(table, max_cached_queries=2)
+        q = self.queries()
+        session.prepared(q[0], seed=0)
+        session.prepared(q[1], seed=1)
+        session.prepared(q[0], seed=0)  # touch: q0 becomes most-recent
+        session.prepared(q[2], seed=2)  # evicts q1, not q0
+        hits_before = session.cache_stats.hits["prepared"]
+        session.prepared(q[0], seed=0)
+        assert session.cache_stats.hits["prepared"] == hits_before + 1
+
+    def test_max_cached_bytes_enforced_but_newest_survives(self, table):
+        session = MatchSession(table, max_cached_bytes=1)  # everything is over
+        q = self.queries()
+        session.prepared(q[0], seed=0)
+        session.prepared(q[1], seed=1)
+        # The newest entry always survives; everything older is evicted.
+        assert session.cache_stats.evictions["prepared"] == 1
+        assert session.cache_bytes > 1  # one entry retained despite the bound
+
+    def test_shared_artifacts_not_released_while_referenced(self, table):
+        backend = _RecordingBackend()
+        session = MatchSession(table, max_cached_queries=1)
+        session.backend = backend
+        q = self.queries()
+        # Same seed: q0 and q1 share one shuffle/index/table.
+        session.prepared(q[0], seed=0)
+        session.prepared(q[1], seed=0)
+        assert session.cache_stats.evictions["prepared"] == 1
+        # The shared shuffled table is still referenced by the survivor.
+        assert session.cache_stats.evictions.get("shuffle") is None
+        assert backend.unpublished == []
+
+    def test_eviction_shows_in_summary_and_results_stay_correct(self, table):
+        session = MatchSession(table, max_cached_queries=1)
+        run = session.match_many(self.queries(), seed=5)
+        assert "evicted=" in session.cache_stats.summary()
+        for outcome in run:
+            assert outcome.report.audit is not None and outcome.report.audit.ok
+
+    def test_invalid_bounds_rejected(self, table):
+        with pytest.raises(ValueError, match="max_cached_queries"):
+            MatchSession(table, max_cached_queries=0)
+        with pytest.raises(ValueError, match="max_cached_bytes"):
+            MatchSession(table, max_cached_bytes=0)
+
+
+class TestSessionLifecycle:
+    """Satellite bugfix: close() idempotent under the front door's shutdown."""
+
+    def test_double_close_and_submit_after_close(self, table):
+        session = MatchSession(table)
+        session.close()
+        session.close()
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(make_queries(1)[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            session.make_job(make_queries(1)[0])
+
+    def test_context_manager_then_explicit_close(self, table):
+        with MatchSession(table) as session:
+            session.match(make_queries(1)[0])
+        session.close()  # second close via the other path
+        assert session.closed
+
+
 class TestPreparedQueryReuse:
     """Satellite: prepared-artifact reuse yields identical MatchResults."""
 
