@@ -20,24 +20,35 @@ Reports, per policy: p50/p95/p99 latency, deadline-hit rate, completion /
 partial / miss / shed counts.  JSON goes to
 ``benchmarks/results/bench_serving.json``.
 
+A second, **multi-tenant** section replays a mixed FLIGHTS+POLICE trace at
+1.5× overload through one ``SessionRegistry`` front door (requests routed
+by dataset key, one shared clock and backend).  That is deep EDF-domino
+territory, where the feasibility-aware ``edf-f`` policy — settle requests
+whose lookahead estimate can no longer meet their deadline as immediate
+partial answers — must hold at least EDF's hit rate.
+
 Checks:
 
 - a request served through the front door (no deadline) returns results
-  byte-identical to a standalone ``run_approach`` execution;
+  byte-identical to a standalone ``run_approach`` execution — and, with
+  ``--async``, so does one served through the asyncio ``AsyncFrontDoor``;
 - under overload, EDF beats FIFO on deadline-hit rate (the classic
-  single-server scheduling result, and this PR's acceptance criterion);
+  single-server scheduling result, and PR 4's acceptance criterion);
 - FIFO actually misses deadlines under overload (otherwise the comparison
-  above is vacuous).
+  above is vacuous);
+- in the multi-tenant run at ≥1.5× overload, ``edf-f``'s deadline-hit
+  rate is at least EDF's (this PR's acceptance criterion).
 
 Usage:
 
     PYTHONPATH=src python benchmarks/bench_serving.py
-    PYTHONPATH=src python benchmarks/bench_serving.py --tiny   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --tiny --async  # CI
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 
 import numpy as np
@@ -46,10 +57,20 @@ from common import RESULTS_DIR, format_table, save_report
 from repro.data import load_dataset, workload_query
 from repro.core.config import HistSimConfig
 from repro.serving import POLICIES, QueryRequest
-from repro.system import MatchSession, run_approach
+from repro.system import MatchSession, SessionRegistry, run_approach
 
 #: Queries cycled to fill the trace (all on FLIGHTS: one session serves it).
 FLIGHTS_QUERIES = ("flights-q1", "flights-q2", "flights-q3", "flights-q4")
+
+#: Tenants of the multi-tenant run (dataset -> its workload queries).
+TENANTS = {
+    "flights": FLIGHTS_QUERIES,
+    "police": ("police-q1", "police-q2", "police-q3"),
+}
+
+#: Overload floor of the multi-tenant run: the regime where pure EDF
+#: dominoes and feasibility shedding pays (ROADMAP: ≳1.5×).
+MULTI_TENANT_OVERLOAD = 1.5
 
 #: Deadline multiples of each query's *own* standalone service time: a
 #: tight/medium/loose mix, so deadline-aware policies have something to
@@ -65,50 +86,69 @@ def config_for_query(query, rows: int) -> HistSimConfig:
     )
 
 
-def calibrate_service_ns(table, args) -> dict[str, float]:
-    """Per-query standalone service time of the mix (simulated)."""
-    session = MatchSession(table)
-    service = {}
-    for name in FLIGHTS_QUERIES:
-        _, query = workload_query(name)
-        prepared = session.prepared(query, seed=args.seed)
-        report = run_approach(
-            prepared, "fastmatch", config_for_query(query, table.num_rows),
-            seed=args.seed, audit=False,
-        )
-        service[name] = report.elapsed_ns
-    session.close()
+def calibrate_service_ns(
+    tenants: dict, tables: dict, args
+) -> dict[tuple[str, str], float]:
+    """Standalone service time of every ``(dataset, query)`` of a mix."""
+    service: dict[tuple[str, str], float] = {}
+    for dataset_name, query_names in tenants.items():
+        session = MatchSession(tables[dataset_name])
+        for name in query_names:
+            _, query = workload_query(name)
+            prepared = session.prepared(query, seed=args.seed)
+            report = run_approach(
+                prepared, "fastmatch",
+                config_for_query(query, tables[dataset_name].num_rows),
+                seed=args.seed, audit=False,
+            )
+            service[(dataset_name, name)] = report.elapsed_ns
+        session.close()
     return service
 
 
-def build_trace(table, service_ns: dict[str, float], args) -> list[tuple[float, QueryRequest]]:
-    """One fixed Poisson trace shared by every policy run.
+def build_trace(
+    tenants: dict,
+    tables: dict,
+    service_ns: dict[tuple[str, str], float],
+    args,
+    *,
+    overload: float,
+    rng_seed: int,
+    tag_dataset: bool,
+) -> list[tuple[float, QueryRequest]]:
+    """One fixed Poisson trace over a tenant mix, shared by every policy run.
 
     Interarrival times are exponential with rate ``overload / μ`` — i.e.
     work arrives ``overload``× faster than one server can drain it — and
     each request draws a deadline from the tight/medium/loose mix, scaled
-    to its own query's service time.
+    to its own query's service time.  ``tag_dataset`` stamps requests with
+    their routing key (multi-tenant registry doors need it; the
+    single-session door must not see one).
     """
-    mu_ns = float(np.mean(list(service_ns.values())))
-    rng = np.random.default_rng(args.seed)
+    mix = [(ds, q) for ds, queries in tenants.items() for q in queries]
+    mu_ns = float(np.mean([service_ns[key] for key in mix]))
+    rng = np.random.default_rng(rng_seed)
     clock_ns = 0.0
     trace = []
     for i in range(args.requests):
-        clock_ns += rng.exponential(mu_ns / args.overload)
-        query_name = FLIGHTS_QUERIES[i % len(FLIGHTS_QUERIES)]
+        clock_ns += rng.exponential(mu_ns / overload)
+        dataset_name, query_name = mix[i % len(mix)]
         _, query = workload_query(query_name)
-        deadline = service_ns[query_name] * rng.choice(DEADLINE_FACTORS)
+        deadline = service_ns[(dataset_name, query_name)] * rng.choice(
+            DEADLINE_FACTORS
+        )
         trace.append(
             (
                 clock_ns,
                 QueryRequest(
                     query,
-                    config=config_for_query(query, table.num_rows),
+                    config=config_for_query(query, tables[dataset_name].num_rows),
                     seed=args.seed,
                     max_step_rows=args.max_step_rows,
                     deadline_ns=float(deadline),
                     on_deadline="partial",
                     name=f"{query_name}#{i}",
+                    dataset=dataset_name if tag_dataset else None,
                 ),
             )
         )
@@ -135,6 +175,69 @@ def run_policy(table, policy: str, trace, args) -> dict:
             float(np.mean(achieved)) if achieved else None
         ),
     }
+
+
+def run_multitenant_policy(tables: dict, policy: str, trace, args) -> dict:
+    """One policy's replay of the mixed trace through a registry door."""
+    registry = SessionRegistry()
+    for dataset_name, table in tables.items():
+        registry.add_dataset(dataset_name, table)
+    door = registry.serve(policy=policy, max_queue=args.max_queue)
+    try:
+        outcomes = door.replay(trace)
+    finally:
+        door.shutdown()
+    snap = door.metrics.snapshot()
+    by_tenant = {
+        ds: sum(1 for o in outcomes if o.name.split("-")[0] == ds)
+        for ds in tables
+    }
+    return {"policy": policy, "per_tenant_requests": by_tenant, **snap.to_dict()}
+
+
+def verify_async_front_door_identity(tables: dict, args) -> None:
+    """One request per tenant through the AsyncFrontDoor == standalone."""
+
+    async def drive():
+        registry = SessionRegistry()
+        for dataset_name, table in tables.items():
+            registry.add_dataset(dataset_name, table)
+        async with registry.serve_async(policy="edf-f") as door:
+            handles = {}
+            for dataset_name, query_names in TENANTS.items():
+                _, query = workload_query(query_names[0])
+                handles[dataset_name] = await door.submit(
+                    QueryRequest(
+                        query,
+                        config=config_for_query(
+                            query, tables[dataset_name].num_rows
+                        ),
+                        seed=args.seed,
+                        dataset=dataset_name,
+                    )
+                )
+            return {ds: await h.outcome() for ds, h in handles.items()}
+
+    outcomes = asyncio.run(drive())
+    for dataset_name, outcome in outcomes.items():
+        _, query = workload_query(TENANTS[dataset_name][0])
+        session = MatchSession(tables[dataset_name])
+        standalone = run_approach(
+            session.prepared(query, seed=args.seed), "fastmatch",
+            config_for_query(query, tables[dataset_name].num_rows),
+            seed=args.seed, audit=False,
+        )
+        session.close()
+        assert outcome.status == "completed"
+        assert outcome.report.result.matching == standalone.result.matching, (
+            f"async front-door matching differs from standalone ({dataset_name})"
+        )
+        assert np.array_equal(
+            outcome.report.result.histograms, standalone.result.histograms
+        ), f"async front-door histograms differ from standalone ({dataset_name})"
+        assert outcome.report.result.stats == standalone.result.stats, (
+            f"async front-door sampling effort differs ({dataset_name})"
+        )
 
 
 def verify_front_door_identity(table, args) -> None:
@@ -179,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--tiny", action="store_true",
                         help="CI smoke mode: small data, short trace")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="also verify byte-identity through the "
+                             "asyncio AsyncFrontDoor")
     args = parser.parse_args(argv)
 
     if args.tiny:
@@ -190,9 +296,30 @@ def main(argv: list[str] | None = None) -> int:
     table = load_dataset("flights", rows=args.rows, seed=args.seed).table
     verify_front_door_identity(table, args)
 
-    service_ns = calibrate_service_ns(table, args)
+    tables = {
+        name: load_dataset(name, rows=args.rows, seed=args.seed).table
+        for name in TENANTS
+    }
+    if args.use_async:
+        verify_async_front_door_identity(tables, args)
+        print("async front-door identity: ok")
+
+    single_tenant = {"flights": FLIGHTS_QUERIES}
+    service_ns = calibrate_service_ns(single_tenant, tables, args)
     mu_ns = float(np.mean(list(service_ns.values())))
-    trace = build_trace(table, service_ns, args)
+    trace = build_trace(
+        single_tenant, tables, service_ns, args,
+        overload=args.overload, rng_seed=args.seed, tag_dataset=False,
+    )
+
+    mt_service_ns = calibrate_service_ns(TENANTS, tables, args)
+    mt_mu_ns = float(np.mean(list(mt_service_ns.values())))
+    mt_overload = max(args.overload, MULTI_TENANT_OVERLOAD)
+    mt_trace = build_trace(
+        TENANTS, tables, mt_service_ns, args,
+        overload=mt_overload, rng_seed=args.seed + 1, tag_dataset=True,
+    )
+
     results = {
         "rows": table.num_rows,
         "requests": args.requests,
@@ -201,6 +328,15 @@ def main(argv: list[str] | None = None) -> int:
         "max_step_rows": args.max_step_rows,
         "mean_service_ms": mu_ns * 1e-6,
         "policies": [run_policy(table, policy, trace, args) for policy in POLICIES],
+        "multi_tenant": {
+            "datasets": list(TENANTS),
+            "overload": mt_overload,
+            "mean_service_ms": mt_mu_ns * 1e-6,
+            "policies": [
+                run_multitenant_policy(tables, policy, mt_trace, args)
+                for policy in POLICIES
+            ],
+        },
     }
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -208,26 +344,38 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(results, indent=2) + "\n"
     )
 
-    rows_out = [
-        [
-            r["policy"],
-            r["completed"], r["partial"], r["missed"], r["shed"],
-            f"{r['deadline_hit_rate'] * 100:.1f}%",
-            f"{r['p50_latency_ms']:.2f}",
-            f"{r['p95_latency_ms']:.2f}",
-            f"{r['p99_latency_ms']:.2f}",
+    def policy_rows(records):
+        return [
+            [
+                r["policy"],
+                r["completed"], r["partial"], r["missed"], r["shed"],
+                f"{r['deadline_hit_rate'] * 100:.1f}%",
+                f"{r['p50_latency_ms']:.2f}",
+                f"{r['p95_latency_ms']:.2f}",
+                f"{r['p99_latency_ms']:.2f}",
+            ]
+            for r in records
         ]
-        for r in results["policies"]
-    ]
+
+    columns = ["policy", "done", "part", "miss", "shed", "hit rate",
+               "p50 ms", "p95 ms", "p99 ms"]
     save_report(
         "bench_serving",
         format_table(
             f"Serving under overload — {args.requests} Poisson arrivals at "
             f"{args.overload:.1f}x service rate, FLIGHTS mix "
             f"(mean service {mu_ns * 1e-6:.2f} ms, max_queue={args.max_queue})",
-            ["policy", "done", "part", "miss", "shed", "hit rate",
-             "p50 ms", "p95 ms", "p99 ms"],
-            rows_out,
+            columns,
+            policy_rows(results["policies"]),
+        )
+        + "\n"
+        + format_table(
+            f"Multi-tenant ({'+'.join(TENANTS)}) — {args.requests} Poisson "
+            f"arrivals at {mt_overload:.1f}x service rate through one "
+            f"SessionRegistry front door "
+            f"(mean service {mt_mu_ns * 1e-6:.2f} ms, max_queue={args.max_queue})",
+            columns,
+            policy_rows(results["multi_tenant"]["policies"]),
         ),
     )
 
@@ -243,6 +391,22 @@ def main(argv: list[str] | None = None) -> int:
             f"({fifo['deadline_hit_rate']:.3f}) under overload"
         )
         return 1
+
+    mt_by_policy = {r["policy"]: r for r in results["multi_tenant"]["policies"]}
+    mt_edf, mt_edff = mt_by_policy["edf"], mt_by_policy["edf-f"]
+    if mt_edff["deadline_hit_rate"] < mt_edf["deadline_hit_rate"]:
+        print(
+            "ERROR: multi-tenant edf-f deadline-hit rate "
+            f"({mt_edff['deadline_hit_rate']:.3f}) below EDF "
+            f"({mt_edf['deadline_hit_rate']:.3f}) at "
+            f"{mt_overload:.1f}x overload"
+        )
+        return 1
+    print(
+        f"multi-tenant at {mt_overload:.1f}x overload: edf-f hit rate "
+        f"{mt_edff['deadline_hit_rate']:.3f} >= edf "
+        f"{mt_edf['deadline_hit_rate']:.3f}"
+    )
     return 0
 
 

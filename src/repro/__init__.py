@@ -33,7 +33,9 @@ from . import (
 )
 from .match import match_histograms, match_many
 from .parallel import ExecutionBackend, SerialBackend, ShardedBackend, make_backend
-from .serving import FrontDoor, QueryRequest
+from .serving import AsyncFrontDoor, FrontDoor, QueryRequest
+from .system.clock import Clock, SimulatedClock, WallClock
+from .system.registry import SessionRegistry
 from .system.session import MatchSession
 
 __all__ = [
@@ -53,8 +55,13 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ShardedBackend",
+    "AsyncFrontDoor",
     "FrontDoor",
     "QueryRequest",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
     "MatchSession",
+    "SessionRegistry",
     "__version__",
 ]

@@ -10,13 +10,23 @@ shared across queries and execution is interleaved on one simulated clock):
 
     python -m repro batch --queries flights-q1 flights-q3 flights-q4
 
-Online serving through the async front door — admission control, a
-scheduling policy, per-query deadlines with ε-relaxed partial answers, and
-an open-loop trace replay mode:
+Online serving through the front door — admission control, a scheduling
+policy (including feasibility-aware ``edf-f``), per-query deadlines with
+ε-relaxed partial answers, and an open-loop trace replay mode.  All
+datasets in play are served *multi-tenant* through one
+``SessionRegistry`` behind a single front door (one shared clock, one
+worker pool), and ``--datasets`` pre-loads tenants explicitly:
 
     python -m repro serve --queries taxi-q1 taxi-q2 --repeat 4 \\
         --policy edf --deadline-ms 50 --max-queue 8
+    python -m repro serve --datasets flights,taxi --policy edf-f \\
+        --deadline-ms 50
     python -m repro serve --trace arrivals.jsonl --policy cost
+    python -m repro serve --datasets flights,taxi --async
+
+``--async`` drives the same requests through the asyncio
+``AsyncFrontDoor`` (one scheduler task, awaitable handles) instead of the
+synchronous open-loop replay.
 
 A trace file holds one JSON object per line:
 ``{"query": "flights-q1", "arrival_ms": 12.5, "deadline_ms": 40}``
@@ -40,9 +50,10 @@ from pathlib import Path
 
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
+from .data.registry import dataset_builders
 from .parallel import BACKENDS, make_backend
 from .serving import POLICIES, QueryRequest
-from .system import APPROACHES, MatchSession, run_approach
+from .system import APPROACHES, MatchSession, SessionRegistry, run_approach
 from .system.visualize import render_result
 
 __all__ = ["build_parser", "main"]
@@ -158,6 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=Path, default=None,
         help="JSONL trace replayed open-loop: one "
              '{"query", "arrival_ms", "deadline_ms"?, ...} per line',
+    )
+    serve.add_argument(
+        "--datasets", type=str, default=None,
+        help="comma-separated dataset tenants to pre-load behind the one "
+             "front door (e.g. 'flights,taxi'); without --queries/--trace, "
+             "serves every workload query of those datasets",
+    )
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="drive requests through the asyncio AsyncFrontDoor (one "
+             "scheduler task, awaitable handles) instead of the "
+             "synchronous open-loop replay",
     )
     serve.set_defaults(command="serve")
     return parser
@@ -296,11 +319,36 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dataset_list(args: argparse.Namespace) -> list[str]:
+    """The validated ``--datasets`` tenants (empty when the flag is unset)."""
+    datasets = [d.strip() for d in (args.datasets or "").split(",") if d.strip()]
+    known = set(dataset_builders())
+    unknown = [d for d in datasets if d not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown dataset(s) {unknown}; available: {sorted(known)}"
+        )
+    return datasets
+
+
+def _serve_query_names(args: argparse.Namespace) -> list[str]:
+    """The workload queries the serve command targets.
+
+    ``--queries`` wins; otherwise ``--datasets`` implies every workload
+    query of those datasets."""
+    if args.queries:
+        return list(args.queries)
+    datasets = set(_dataset_list(args))
+    return [name for name in QUERY_NAMES if workload_query(name)[0] in datasets]
+
+
 def _load_trace(args: argparse.Namespace) -> list[tuple[float, str, QueryRequest]]:
     """Arrival events as ``(arrival_ns, dataset, request)``, arrival-sorted.
 
     Sourced from ``--trace`` (JSONL, open-loop timestamps) or synthesized
-    from ``--queries``/``--repeat`` (all arriving at time zero)."""
+    from ``--queries``/``--datasets``/``--repeat`` (all arriving at time
+    zero).  Every request is tagged with its dataset key so one registry
+    front door routes it to the right tenant."""
     events: list[tuple[float, str, QueryRequest]] = []
 
     def request_for(query_name: str, *, deadline_ms, seed, approach,
@@ -320,6 +368,7 @@ def _load_trace(args: argparse.Namespace) -> list[tuple[float, str, QueryRequest
             deadline_ns=None if deadline_ms is None else deadline_ms * 1e6,
             on_deadline=on_deadline,
             name=label or query_name,
+            dataset=dataset_name,
         )
 
     if args.trace is not None:
@@ -349,7 +398,7 @@ def _load_trace(args: argparse.Namespace) -> list[tuple[float, str, QueryRequest
                 raise SystemExit(f"{args.trace}:{line_no}: bad trace event: {exc}")
             events.append((event.get("arrival_ms", 0.0) * 1e6, dataset_name, request))
     else:
-        for query_name in args.queries:
+        for query_name in _serve_query_names(args):
             for repeat in range(args.repeat):
                 dataset_name, request = request_for(
                     query_name,
@@ -362,45 +411,100 @@ def _load_trace(args: argparse.Namespace) -> list[tuple[float, str, QueryRequest
     return sorted(events, key=lambda e: e[0])
 
 
+def _drive_async(door, events) -> list:
+    """Submit every request through the AsyncFrontDoor and await outcomes.
+
+    Closed-loop with backpressure: arrivals are submitted in trace order,
+    and while the admission queue is full the client first awaits its
+    oldest outstanding request — so a bounded ``--max-queue`` throttles
+    instead of shedding everything beyond the bound (the open-loop timing
+    study is :meth:`FrontDoor.replay`).
+    """
+    import asyncio
+
+    async def drive():
+        outcomes: list = [None] * len(events)
+        admission = door.admission
+        async with door:
+            handles: list[tuple[int, object]] = []
+            waiting = 0
+            for index, (_, _, request) in enumerate(events):
+                # Backpressure: while the queue is full, await the oldest
+                # outstanding request (capacity reads are race-free in one
+                # event loop), so nothing is submitted into a rejection.
+                while (
+                    admission.max_queue is not None
+                    and admission.in_flight >= admission.max_queue
+                    and waiting < len(handles)
+                ):
+                    await handles[waiting][1].outcome()
+                    waiting += 1
+                handles.append((index, await door.submit(request)))
+            for index, handle in handles:
+                outcomes[index] = await handle.outcome()
+        return outcomes
+
+    return asyncio.run(drive())
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     events = _load_trace(args)
-    by_dataset: dict[str, list[tuple[float, QueryRequest]]] = {}
-    for arrival_ns, dataset_name, request in events:
-        by_dataset.setdefault(dataset_name, []).append((arrival_ns, request))
+    if not events:
+        raise SystemExit("nothing to serve: no queries matched")
 
-    for dataset_name, trace in by_dataset.items():
+    # One registry serves every dataset in play behind a single front door:
+    # one shared clock, one backend (worker pool), requests routed by key.
+    # --datasets tenants are pre-loaded even when --queries/--trace name
+    # only a subset (the flag promises the tenants exist behind the door).
+    registry = SessionRegistry(backend=args.backend, workers=args.workers)
+    dataset_rows: dict[str, int] = {}
+    tenants = dict.fromkeys(
+        _dataset_list(args) + [name for _, name, _ in events]
+    )
+    for dataset_name in tenants:
         dataset = load_dataset(dataset_name, rows=args.rows, seed=args.seed)
-        session = MatchSession(
-            dataset.table, backend=args.backend, workers=args.workers
-        )
-        door = session.serve(policy=args.policy, max_queue=args.max_queue)
+        registry.add_dataset(dataset_name, dataset.table)
+        dataset_rows[dataset_name] = dataset.table.num_rows
+
+    if args.use_async:
+        door = registry.serve_async(policy=args.policy, max_queue=args.max_queue)
+        outcomes = _drive_async(door, events)
+        mode = "async (closed-loop)"
+    else:
+        door = registry.serve(policy=args.policy, max_queue=args.max_queue)
         try:
-            outcomes = door.replay(trace)
+            outcomes = door.replay(
+                [(arrival_ns, request) for arrival_ns, _, request in events]
+            )
         finally:
             door.shutdown()
+        mode = "replay (open-loop)"
 
-        print(f"dataset    : {dataset_name}  ({dataset.table.num_rows:,} rows, "
-              f"{len(trace)} requests, policy={args.policy}, "
-              f"max_queue={args.max_queue or 'unbounded'})")
-        for outcome in outcomes:
-            extra = ""
-            if outcome.status == "partial" and outcome.report is not None:
-                extra = (f"  achieved_eps={outcome.report.achieved_epsilon:.3f}"
-                         f" (asked {args.epsilon})")
-            elif outcome.status == "completed" and outcome.deadline_ns is not None:
-                extra = "  deadline=hit" if outcome.deadline_hit else "  deadline=late"
-            print(f"  {outcome.name:<16} {outcome.status:<9} "
-                  f"latency={outcome.latency_seconds * 1e3:8.2f} ms  "
-                  f"steps={outcome.steps:<3d}{extra}")
-        snap = door.metrics.snapshot()
-        print(f"  served     : {snap.completed} completed, {snap.partial} partial, "
-              f"{snap.missed} missed, {snap.shed} shed")
-        print(f"  latency    : p50={snap.p50_latency_ms:.2f} "
-              f"p95={snap.p95_latency_ms:.2f} p99={snap.p99_latency_ms:.2f} ms")
-        print(f"  deadlines  : hit rate "
-              f"{snap.deadline_hit_rate * 100:.1f}% "
-              f"({door.metrics.deadline_hits}/{door.metrics.deadline_requests})")
-        print(f"  cache      : {session.cache_stats.summary()} "
+    print(f"tenants    : {', '.join(f'{name} ({rows:,} rows)' for name, rows in dataset_rows.items())}")
+    print(f"mode       : {mode}, policy={args.policy}, "
+          f"max_queue={args.max_queue or 'unbounded'}, "
+          f"{len(events)} requests")
+    for (_, dataset_name, _), outcome in zip(events, outcomes):
+        extra = ""
+        if outcome.status == "partial" and outcome.report is not None:
+            extra = (f"  achieved_eps={outcome.report.achieved_epsilon:.3f}"
+                     f" (asked {args.epsilon})")
+        elif outcome.status == "completed" and outcome.deadline_ns is not None:
+            extra = "  deadline=hit" if outcome.deadline_hit else "  deadline=late"
+        print(f"  {outcome.name:<16} [{dataset_name:<7}] {outcome.status:<9} "
+              f"latency={outcome.latency_seconds * 1e3:8.2f} ms  "
+              f"steps={outcome.steps:<3d}{extra}")
+    snap = door.metrics.snapshot()
+    print(f"  served     : {snap.completed} completed, {snap.partial} partial, "
+          f"{snap.missed} missed, {snap.shed} shed")
+    print(f"  latency    : p50={snap.p50_latency_ms:.2f} "
+          f"p95={snap.p95_latency_ms:.2f} p99={snap.p99_latency_ms:.2f} ms")
+    print(f"  deadlines  : hit rate "
+          f"{snap.deadline_hit_rate * 100:.1f}% "
+          f"({door.metrics.deadline_hits}/{door.metrics.deadline_requests})")
+    for dataset_name in dataset_rows:
+        session = registry.session(dataset_name)
+        print(f"  cache      : [{dataset_name}] {session.cache_stats.summary()} "
               f"({session.cache_hits} hits)")
     return 0
 
@@ -424,8 +528,8 @@ def main(argv: list[str] | None = None) -> int:
     if command == "batch":
         return _run_batch(args)
     if command == "serve":
-        if args.trace is None and not args.queries:
-            parser.error("serve requires --queries or --trace")
+        if args.trace is None and not args.queries and not args.datasets:
+            parser.error("serve requires --queries, --datasets, or --trace")
         if args.deadline_ms is not None and args.deadline_ms <= 0:
             parser.error("--deadline-ms must be positive")
         return _run_serve(args)

@@ -122,11 +122,12 @@ class ShardedBackend(ExecutionBackend):
         Keyed by table/filter identity: every engine of a session shares the
         cached shuffled table objects, so each dataset column crosses into
         shared memory exactly once no matter how many queries run.  Keyed
-        objects are pinned for the backend's lifetime (the store pins filter
-        arrays; tables are pinned here), so an id can never be recycled
-        while its cache entry lives.  Like the session's artifact cache,
-        segments have no eviction — a session's distinct datasets and
-        filters are assumed to fit memory.
+        objects are pinned while published (the store pins filter arrays;
+        tables are pinned here), so an id can never be recycled while its
+        cache entry lives.  Eviction happens through :meth:`unpublish`
+        (driven by the session layer's LRU): segments are unlinked
+        immediately and pool workers drop their cached attachments via the
+        epoch GC watermark shipped with every task.
         """
         table = source.shuffled.table
         self._pinned_tables[id(table)] = table
@@ -171,6 +172,7 @@ class ShardedBackend(ExecutionBackend):
         # result from an earlier (failed) window can never be mistaken for
         # one of this window's shards.
         base_id = self.shard_tasks
+        gc_epoch, live_segments = self.store.gc_state()
         tasks = [
             ShardTask(
                 task_id=base_id + shard.index,
@@ -182,6 +184,8 @@ class ShardedBackend(ExecutionBackend):
                 num_rows=layout.num_rows,
                 num_candidates=source.num_candidates,
                 num_groups=source.num_groups,
+                gc_epoch=gc_epoch,
+                live_segments=live_segments,
             )
             for shard in shards
         ]
@@ -229,6 +233,7 @@ class ShardedBackend(ExecutionBackend):
         z_ref = self.store.publish(("column", id(table), z_name), table.column(z_name))
         x_ref = self.store.publish(("column", id(table), x_name), table.column(x_name))
         base_id = self.shard_tasks
+        gc_epoch, live_segments = self.store.gc_state()
         tasks = [
             ShardTask(
                 task_id=base_id + shard.index,
@@ -245,6 +250,8 @@ class ShardedBackend(ExecutionBackend):
                     if row_filter is not None
                     else None
                 ),
+                gc_epoch=gc_epoch,
+                live_segments=live_segments,
             )
             for shard in shards
         ]

@@ -79,6 +79,9 @@ class SharedMemoryStore:
         self._prefix = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}"
         self._segments: dict[Hashable, tuple[shared_memory.SharedMemory, SegmentRef, np.ndarray]] = {}
         self._serial = 0
+        #: Bumped on every unpublish; workers drop cached attachments to
+        #: segments absent from :meth:`gc_state` once they see a newer epoch.
+        self.epoch = 0
         self.closed = False
 
     @property
@@ -98,14 +101,18 @@ class SharedMemoryStore:
 
         Idempotent: unknown keys are ignored.  Unlinking removes the name
         from ``/dev/shm`` immediately; the pages themselves are freed once
-        every attached worker closes its handle (workers cache attachments,
-        so a long-lived pool pins an evicted segment's pages until it shuts
-        down — segment names are serial-unique, so a stale attachment can
-        never alias a later publication).
+        every attached worker closes its handle.  Workers cache attachments,
+        so the unpublish bumps the store's GC ``epoch`` — tasks carry the
+        current :meth:`gc_state`, and a worker that sees a newer epoch drops
+        (closes) every cached attachment whose segment is no longer live,
+        releasing the evicted pages without restarting the pool.  Segment
+        names are serial-unique, so a stale attachment can never alias a
+        later publication.
         """
         entry = self._segments.pop(key, None)
         if entry is None:
             return
+        self.epoch += 1
         shm, _, _ = entry
         shm.close()
         try:
@@ -113,8 +120,29 @@ class SharedMemoryStore:
         except FileNotFoundError:
             pass
 
+    def gc_state(self) -> tuple[int, tuple[str, ...]]:
+        """The attachment-GC watermark shipped with every worker task:
+        the current eviction epoch plus the names of all live segments.
+
+        A worker whose cached epoch is older closes every attachment not in
+        the live set and adopts the new epoch.  Shipping the full live set
+        (a handful of column names) rather than a retirement diff keeps the
+        protocol stateless: a worker that never saw the intermediate epochs
+        — tasks are pulled from a shared queue — still converges.
+        """
+        return self.epoch, tuple(ref.name for _, ref, _ in self._segments.values())
+
     def publish(self, key: Hashable, array: np.ndarray) -> SegmentRef:
-        """Copy ``array`` into a shared segment (once per key); returns its ref."""
+        """Copy ``array`` into a shared segment (once per key); returns its ref.
+
+        The creating handle is *closed* immediately after the copy: a tmpfs
+        segment lives until unlink regardless of open mappings, the
+        coordinator never reads it back (workers attach by name), and — the
+        real point — a worker forked later must not inherit the
+        coordinator's mapping, or the pages of an evicted segment would
+        stay pinned by that invisible inherited mapping even after the
+        worker drops its own attachment (epoch GC).
+        """
         if self.closed:
             raise RuntimeError("SharedMemoryStore is closed")
         if key in self._segments:
@@ -125,6 +153,8 @@ class SharedMemoryStore:
         shm = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1), name=name)
         view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
         view[...] = source
+        del view  # release the buffer export so the mapping can close
+        shm.close()
         ref = SegmentRef(name=name, dtype=source.dtype.str, shape=tuple(source.shape))
         self._segments[key] = (shm, ref, array)
         return ref

@@ -40,15 +40,27 @@ class ShardTask:
     num_candidates: int
     num_groups: int
     filter_values: np.ndarray | None = None
+    #: Attachment-GC watermark (:meth:`SharedMemoryStore.gc_state`): when a
+    #: worker sees an epoch newer than its cached one, it closes every
+    #: cached attachment whose segment name is not in ``live_segments``,
+    #: releasing pages the coordinator unlinked on cache eviction.
+    gc_epoch: int = 0
+    live_segments: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """One shard's merged-ready output: exact counts plus a rows tally."""
+    """One shard's merged-ready output: exact counts plus a rows tally.
+
+    ``cached_attachments`` reports how many shared-memory attachments the
+    worker held *after* this task (post-GC) — observability for the
+    segment-forgetting tests; merging ignores it.
+    """
 
     task_id: int
     counts: np.ndarray
     rows: int
+    cached_attachments: int = 0
 
 
 def count_shard(
@@ -82,6 +94,35 @@ def count_shard(
     return flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
 
 
+def _gc_attachments(task: ShardTask, attachments: dict, state: dict) -> None:
+    """Epoch-based attachment forgetting (worker-side segment GC).
+
+    The coordinator bumps the store epoch on every unpublish and stamps
+    each task with the epoch plus the then-live segment names.  A worker
+    seeing a newer epoch closes every cached attachment that is no longer
+    live, so pages of evicted cache entries are released while the pool
+    keeps running.  Epochs only move forward; an out-of-order older task
+    (pulled late from the shared queue) cannot resurrect anything — its
+    stale refs would re-attach and fail, and the coordinator never
+    dispatches refs it has unlinked.
+    """
+    if task.live_segments is None or task.gc_epoch <= state.get("epoch", 0):
+        return
+    state["epoch"] = task.gc_epoch
+    live = set(task.live_segments)
+    for name in [name for name in attachments if name not in live]:
+        entry = attachments.pop(name)
+        shm = entry[0]
+        # Drop the NumPy view before closing: mmap.close() raises
+        # BufferError while exported buffers exist, which would silently
+        # keep the evicted pages pinned.
+        del entry
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
 def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> ShardResult:
     """Execute one task against cached shared-memory attachments."""
 
@@ -102,7 +143,12 @@ def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> Shard
         row_filter,
         task.filter_values,
     )
-    return ShardResult(task_id=task.task_id, counts=counts, rows=int(counts.sum()))
+    return ShardResult(
+        task_id=task.task_id,
+        counts=counts,
+        rows=int(counts.sum()),
+        cached_attachments=len(attachments),
+    )
 
 
 def worker_loop(task_queue, result_queue, shared_tracker: bool = False) -> None:
@@ -110,18 +156,22 @@ def worker_loop(task_queue, result_queue, shared_tracker: bool = False) -> None:
 
     Pulls :class:`ShardTask`\\ s until the ``None`` sentinel, caching
     shared-memory attachments across tasks (attach once per dataset, not per
-    window).  Failures are reported per-task as ``(task_id, None, error)``
-    so the coordinator can raise with context instead of hanging.
-    ``shared_tracker`` reflects the pool's start method (see
-    :func:`~repro.parallel.shm.attach_segment`).
+    window) and *forgetting* attachments to segments the coordinator has
+    since unpublished (epoch GC — see :func:`_gc_attachments`), so cache
+    eviction actually frees memory while the pool lives.  Failures are
+    reported per-task as ``(task_id, None, error)`` so the coordinator can
+    raise with context instead of hanging.  ``shared_tracker`` reflects the
+    pool's start method (see :func:`~repro.parallel.shm.attach_segment`).
     """
     attachments: dict = {}
+    gc_state: dict = {}
     try:
         while True:
             task = task_queue.get()
             if task is None:
                 break
             try:
+                _gc_attachments(task, attachments, gc_state)
                 result = _run_task(task, attachments, shared_tracker)
                 result_queue.put((task.task_id, result, None))
             except Exception as exc:  # pragma: no cover - exercised via pool tests

@@ -4,16 +4,22 @@ The paper's headline is interactive latency; this package supplies the
 serving architecture that claim implies when queries arrive as traffic
 rather than as a batch:
 
-- :class:`FrontDoor` — accepts :class:`QueryRequest`\\ s while others run
-  (threaded), or replays open-loop arrival traces on the simulated clock
-  (deterministic);
+- :class:`ServingEngine` — the pure, clock-agnostic scheduling core
+  (pick-next / advance-job / settle; no threads, no locks) every driver
+  runs on;
+- :class:`FrontDoor` (threads) and :class:`AsyncFrontDoor` (asyncio) —
+  thin drivers accepting :class:`QueryRequest`\\ s while others run;
+  the thread door also replays open-loop arrival traces on the simulated
+  clock (deterministic).  Either drives one
+  :class:`~repro.system.MatchSession` or a multi-dataset
+  :class:`~repro.system.SessionRegistry`;
 - :class:`AdmissionController` — bounded queue depth with load shedding
   (typed :class:`AdmissionRejected`);
-- :class:`ServingScheduler` + policies (:data:`POLICIES`: FIFO,
-  round-robin, earliest-deadline-first, shortest-expected-remaining-cost
-  via the paper's lookahead estimate) — time-slice resumable
-  :class:`~repro.core.histsim.HistSimStepper` jobs on one shared
-  :class:`~repro.system.clock.SimulatedClock`;
+- policies (:data:`POLICIES`: FIFO, round-robin, EDF, feasibility-aware
+  EDF (``edf-f``, sheds doomed requests as immediate partials),
+  shortest-expected-remaining-cost via the paper's lookahead estimate) —
+  time-slice resumable :class:`~repro.core.histsim.HistSimStepper` jobs
+  on any :class:`~repro.system.clock.Clock` (simulated or wall);
 - per-request deadlines — expiry yields an ε-relaxed partial answer
   carrying its actually-achieved guarantee, or a typed
   :class:`DeadlineMiss`;
@@ -27,11 +33,14 @@ with no deadline returns byte-identical results to a standalone
 """
 
 from .admission import AdmissionController
+from .async_frontdoor import AsyncFrontDoor, AsyncResponseHandle
+from .engine import ServingEngine
 from .frontdoor import FrontDoor, ResponseHandle
 from .metrics import ServingMetrics
 from .policies import (
     POLICIES,
     EdfPolicy,
+    FeasibleEdfPolicy,
     FifoPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -42,8 +51,10 @@ from .request import (
     ON_DEADLINE,
     AdmissionRejected,
     DeadlineMiss,
+    InfeasibleDeadline,
     QueryRequest,
     ServingError,
+    UnknownDataset,
 )
 from .scheduler import (
     CANCELLED,
@@ -65,18 +76,24 @@ __all__ = [
     "SHED",
     "AdmissionController",
     "AdmissionRejected",
+    "AsyncFrontDoor",
+    "AsyncResponseHandle",
     "DeadlineMiss",
     "EdfPolicy",
+    "FeasibleEdfPolicy",
     "FifoPolicy",
     "FrontDoor",
+    "InfeasibleDeadline",
     "QueryRequest",
     "ResponseHandle",
     "RoundRobinPolicy",
     "SchedulingPolicy",
+    "ServingEngine",
     "ServingError",
     "ServingMetrics",
     "ServingOutcome",
     "ServingScheduler",
     "ShortestCostPolicy",
+    "UnknownDataset",
     "make_policy",
 ]

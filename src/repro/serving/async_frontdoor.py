@@ -1,0 +1,285 @@
+"""The asyncio serving front door: multi-tenant, awaitable, single-threaded.
+
+:class:`AsyncFrontDoor` is the asyncio *driver* over the same pure
+scheduling core the thread door runs on
+(:class:`~repro.serving.engine.ServingEngine`): one scheduler task pumps
+engine steps inside the event loop, yielding to the loop between slices so
+concurrent submitters (one coroutine per client) interleave freely without
+a single lock.  Everything semantic — policy choice, deadlines,
+feasibility shedding, settlement, admission release — is the engine's;
+the driver only owns *when* steps happen and *how* callers wait.
+
+Typical multi-tenant use, one task group, many clients::
+
+    registry = SessionRegistry(backend="sharded")
+    registry.add_dataset("flights", flights.table)
+    registry.add_dataset("taxi", taxi.table)
+
+    async def client(door, request):
+        handle = await door.submit(request)        # AdmissionRejected if full
+        outcome = await handle.outcome()           # awaitable, no blocking
+        return outcome.report
+
+    async def main():
+        async with AsyncFrontDoor(registry, policy="edf-f",
+                                  max_queue=32) as door:
+            reports = await asyncio.gather(
+                client(door, QueryRequest(q1, dataset="flights")),
+                client(door, QueryRequest(q2, dataset="taxi")),
+            )
+
+Run the service on a :class:`~repro.system.clock.WallClock` for real-time
+deadlines, or keep the default :class:`SimulatedClock` for deterministic
+studies — the driver is clock-agnostic.  Because engine steps execute in
+the event loop, a step is the scheduling granularity: keep
+``default_max_step_rows`` bounded so the loop stays responsive.
+
+The async driver never changes what a query computes: per-request answers
+are byte-identical to the thread front door and the batch drain under
+every policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .admission import AdmissionController
+from .engine import ServingEngine, ServingOutcome
+from .frontdoor import admit_request
+from .metrics import ServingMetrics
+from .policies import SchedulingPolicy
+from .request import QueryRequest, ServingError
+
+__all__ = ["AsyncFrontDoor", "AsyncResponseHandle"]
+
+
+class AsyncResponseHandle:
+    """Awaitable handle for one admitted request."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._event = asyncio.Event()
+        self._outcome: ServingOutcome | None = None
+
+    def _resolve(self, outcome: ServingOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    async def outcome(self) -> ServingOutcome:
+        """The full serving record; awaits finalization."""
+        await self._event.wait()
+        assert self._outcome is not None
+        return self._outcome
+
+    async def result(self):
+        """The :class:`~repro.system.report.RunReport`, complete or partial.
+
+        Raises the outcome's typed error (:class:`DeadlineMiss` on a
+        no-partial deadline expiry, :class:`ServingError` on cancellation)
+        when no answer was produced.
+        """
+        outcome = await self.outcome()
+        if outcome.report is None:
+            assert outcome.error is not None
+            raise outcome.error
+        return outcome.report
+
+
+class AsyncFrontDoor:
+    """Asyncio admission + scheduling in front of one serving *service*.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.system.MatchSession` or
+        :class:`~repro.system.SessionRegistry` (requests route by their
+        ``dataset`` key) — anything exposing ``job_for_request``,
+        ``clock``, ``backend``, and ``close``.  :meth:`shutdown` (or the
+        ``async with`` exit) closes it.
+    policy, max_queue, default_deadline_ns, default_max_step_rows:
+        As for the thread :class:`~repro.serving.FrontDoor`.
+
+    All methods must be called from one event loop; the door is
+    single-threaded by construction (that is the point), so no locks exist
+    anywhere on the serving path.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        policy: str | SchedulingPolicy = "edf",
+        max_queue: int | None = None,
+        default_deadline_ns: float | None = None,
+        default_max_step_rows: int | None = None,
+    ) -> None:
+        self.service = service
+        self.metrics = ServingMetrics()
+        self.admission = AdmissionController(max_queue)
+        self.default_deadline_ns = default_deadline_ns
+        self.default_max_step_rows = default_max_step_rows
+        self.engine = ServingEngine(
+            service.clock,
+            policy=policy,
+            backend=service.backend,
+            admission=self.admission,
+            metrics=self.metrics,
+        )
+        self._handles: dict[int, AsyncResponseHandle] = {}
+        self._task: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._accepting = True
+        self._stopping = False
+        self._drain_on_stop = True
+        self._shutdown_started = False
+        self._closed = asyncio.Event()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self) -> "AsyncFrontDoor":
+        """Spawn the scheduler task in the running event loop."""
+        if self._stopping:
+            raise ServingError("async front door is shut down")
+        if self._task is None:
+            self._wake = asyncio.Event()
+            self._task = asyncio.get_running_loop().create_task(
+                self._loop(), name="repro-async-front-door"
+            )
+        return self
+
+    async def __aenter__(self) -> "AsyncFrontDoor":
+        return self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------- submission
+
+    async def submit(self, request: QueryRequest) -> AsyncResponseHandle:
+        """Admit one request; returns an awaitable handle immediately.
+
+        Raises :class:`AdmissionRejected` when shed and
+        :class:`ServingError` after shutdown.  Preparation (artifact cache
+        work) happens inline in the submitting coroutine — admitted
+        requests are scheduler-ready by the time the handle exists.
+        """
+        if not self._accepting:
+            raise ServingError("async front door is shut down")
+        entry = admit_request(
+            self.service,
+            self.engine,
+            self.admission,
+            self.metrics,
+            request,
+            self.default_deadline_ns,
+            self.default_max_step_rows,
+        )
+        handle = AsyncResponseHandle(entry.name)
+        self._handles[entry.seq] = handle
+        if self._wake is not None:
+            self._wake.set()
+        return handle
+
+    # -------------------------------------------------------------- execution
+
+    def _dispatch(self) -> list[ServingOutcome]:
+        """Resolve handles for everything finalized since the last call."""
+        outcomes = []
+        for entry in self.engine.take_finished():
+            assert entry.outcome is not None
+            outcomes.append(entry.outcome)
+            handle = self._handles.pop(entry.seq, None)
+            if handle is not None:
+                handle._resolve(entry.outcome)
+        return outcomes
+
+    async def _loop(self) -> None:
+        reason = "async front door shut down mid-flight"
+        assert self._wake is not None
+        try:
+            while True:
+                if self._stopping and (not self._drain_on_stop or self.engine.idle):
+                    break
+                if self.engine.idle:
+                    # Park until a submit or shutdown wakes the scheduler.
+                    # No timeout needed: submit() and shutdown() both set
+                    # the event, and there is no await between the idle
+                    # check and this clear, so (single event loop) no
+                    # wakeup can slip through the gap.
+                    self._wake.clear()
+                    if self._stopping:
+                        continue  # re-check the exit condition, don't park
+                    await self._wake.wait()
+                    continue
+                self.engine.step()
+                self._dispatch()
+                # One engine step per loop turn: submitters and other tasks
+                # get the loop between slices.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            reason = "async front door task cancelled"
+            raise
+        except Exception as exc:
+            # A failing job must not strand the other requests' handles.
+            reason = f"async front door scheduler failed: {exc!r}"
+        finally:
+            self._stopping = True
+            self._accepting = False
+            self.engine.cancel_pending(reason)
+            self._dispatch()
+
+    async def pump(self) -> list[ServingOutcome]:
+        """Serve until idle without a scheduler task (no-task mode); yields
+        to the event loop between slices.  Returns the outcomes finalized
+        by this call, in submission order."""
+        if self._task is not None:
+            raise ServingError("pump() cannot run alongside start()")
+        while self.engine.step():
+            await asyncio.sleep(0)
+        return self._dispatch()
+
+    # ---------------------------------------------------------------- shutdown
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, finish (or cancel) in-flight work, close the service.
+
+        ``drain=True`` serves every admitted request to its normal outcome
+        first; ``drain=False`` cancels in-flight requests, resolving their
+        handles with a :class:`ServingError`.  Idempotent and safe under
+        concurrent callers: the first caller drains and closes, later
+        callers wait for that close instead of closing the service under
+        the still-draining scheduler task.
+        """
+        if self._shutdown_started:
+            await self._closed.wait()
+            return
+        self._shutdown_started = True
+        already = self._stopping  # the loop marks itself stopped on failure
+        self._accepting = False
+        self._stopping = True
+        self._drain_on_stop = drain
+        try:
+            if self._task is not None:
+                if self._wake is not None:
+                    self._wake.set()
+                task, self._task = self._task, None
+                await task
+            elif not already:
+                if drain:
+                    while self.engine.step():
+                        await asyncio.sleep(0)
+                self.engine.cancel_pending(
+                    "async front door shut down mid-flight"
+                )
+                self._dispatch()
+        finally:
+            # Close even when the drain raised (task cancelled, loop torn
+            # down): _closed must never be set with the service — worker
+            # pool, shared-memory segments — still open, or later callers
+            # would believe the close happened.
+            self.service.close()
+            self._closed.set()

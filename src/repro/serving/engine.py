@@ -1,0 +1,423 @@
+"""The pure scheduling engine: pick-next / advance-job / settle, no threads.
+
+This is the reentrant core every serving driver runs on — the thread
+:class:`~repro.serving.frontdoor.FrontDoor`, the asyncio
+:class:`~repro.serving.async_frontdoor.AsyncFrontDoor`, and the batch drain
+(:class:`~repro.system.scheduler.BatchScheduler`) are all thin shells that
+feed it jobs and pump :meth:`ServingEngine.step`.  The engine itself holds
+no locks, spawns no threads, and never blocks: drivers own concurrency,
+the engine owns scheduling semantics, and the two never mix.
+
+It is also **clock-agnostic**: the engine runs against the
+:class:`~repro.system.clock.Clock` protocol, so the same scheduling code
+serves simulated single-server studies (:class:`SimulatedClock`) and live
+asyncio deployments (:class:`WallClock`).  Every job is stamped — submission,
+deadline, expiry, completion, cancellation — from **its own** clock (the one
+its session charges), never from whatever clock the driver happens to hold,
+so latency percentiles stay coherent even when a wall-clock driver
+multiplexes simulated-clock sessions.
+
+Semantics the engine owns:
+
+- **policy** — each time slice goes to whichever runnable job the pluggable
+  :class:`~repro.serving.policies.SchedulingPolicy` picks (FIFO, round-
+  robin, EDF, feasibility-aware EDF, shortest-expected-remaining-cost);
+- **deadlines** — a job past its deadline is finalized early with either an
+  ε-relaxed partial answer or a typed
+  :class:`~repro.serving.request.DeadlineMiss`;
+- **feasibility shedding** — under a feasibility-aware policy (``edf-f``),
+  a deadline-carrying job whose lookahead cost estimate can no longer meet
+  its deadline is settled as a partial answer *immediately*, so its slices
+  go to requests that can still win;
+- **online submission** — jobs join while others run; outcomes are
+  collected incrementally (:meth:`ServingEngine.take_finished`).
+
+Scheduling never changes what a query computes: jobs consume their own
+fixed sampling order, so any interleaving produces byte-identical results
+— policies, deadlines, and drivers shape *latency*, not answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..system.clock import Clock
+from ..system.report import RunReport
+from .admission import AdmissionController
+from .metrics import CANCELLED, COMPLETED, MISS, PARTIAL, SHED, ServingMetrics
+from .policies import SchedulingPolicy, make_policy
+from .request import ON_DEADLINE, DeadlineMiss, InfeasibleDeadline, ServingError
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "MISS",
+    "PARTIAL",
+    "SHED",
+    "ServingEngine",
+    "ServingOutcome",
+    "TrackedJob",
+]
+
+
+@dataclass(frozen=True)
+class ServingOutcome:
+    """One request's final serving record, stamped on its own clock.
+
+    ``status`` is one of :data:`COMPLETED` (ran to completion),
+    :data:`PARTIAL` (deadline expired or the run was judged infeasible;
+    ``report`` holds the ε-relaxed answer with its achieved guarantee),
+    :data:`MISS` (deadline expired, no partial requested; ``error`` holds
+    the :class:`DeadlineMiss`), :data:`CANCELLED` (driver shut down
+    mid-flight), or :data:`SHED` (rejected at admission; never ran).
+    """
+
+    name: str
+    status: str
+    report: RunReport | None
+    submitted_ns: float
+    finished_ns: float
+    steps: int
+    service_ns: float
+    deadline_ns: float | None = None
+    error: Exception | None = None
+
+    @property
+    def latency_ns(self) -> float:
+        """Submission (or open-loop arrival) to finalization."""
+        return self.finished_ns - self.submitted_ns
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_ns * 1e-9
+
+    @property
+    def service_seconds(self) -> float:
+        return self.service_ns * 1e-9
+
+    @property
+    def deadline_hit(self) -> bool:
+        """Completed, and within the deadline if one was set."""
+        return self.status == COMPLETED and (
+            self.deadline_ns is None or self.finished_ns <= self.deadline_ns
+        )
+
+    @property
+    def ok(self) -> bool:
+        """An answer was produced (complete or partial)."""
+        return self.report is not None
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns * 1e-6
+
+
+class TrackedJob:
+    """Engine-internal bookkeeping around one submitted job.
+
+    ``clock`` is the job's *own* time source — the clock its session
+    charges.  All of the entry's timestamps (submission, deadline, expiry,
+    finalization) live on that clock; when the engine multiplexes sessions
+    on one shared clock they coincide, but the engine never assumes it.
+    """
+
+    __slots__ = (
+        "job",
+        "name",
+        "seq",
+        "rr_key",
+        "clock",
+        "submitted_ns",
+        "deadline_ns",
+        "on_deadline",
+        "service_ns",
+        "steps",
+        "outcome",
+        "_estimate_cache",
+    )
+
+    def __init__(
+        self,
+        job,
+        name: str,
+        seq: int,
+        clock: Clock,
+        submitted_ns: float,
+        deadline_ns: float | None,
+        on_deadline: str,
+    ) -> None:
+        self.job = job
+        self.name = name
+        self.seq = seq
+        self.rr_key = seq
+        self.clock = clock
+        self.submitted_ns = submitted_ns
+        self.deadline_ns = deadline_ns
+        self.on_deadline = on_deadline
+        self.service_ns = 0.0
+        self.steps = 0
+        self.outcome: ServingOutcome | None = None
+        self._estimate_cache: tuple[int, float, float] | None = None
+
+    def estimated_remaining(self) -> float:
+        """The job's lookahead cost estimate in rows; ``inf`` when it offers
+        none.
+
+        Cached per step: the estimate only moves when the job itself runs,
+        but a cost policy asks for every runnable job's estimate on every
+        slice — without the cache that is O(jobs) redundant estimator runs
+        per step.
+        """
+        return self._estimates()[0]
+
+    def estimated_remaining_ns(self) -> float:
+        """Lookahead estimate of the job's remaining *service time* (ns).
+
+        Used by feasibility-aware policies: a deadline that even this
+        (optimistic, I/O-only) estimate cannot meet is certainly doomed.
+        ``inf`` when the job offers no estimate.
+        """
+        return self._estimates()[1]
+
+    def _estimates(self) -> tuple[float, float]:
+        if self._estimate_cache is not None and self._estimate_cache[0] == self.steps:
+            return self._estimate_cache[1], self._estimate_cache[2]
+        rows_estimator = getattr(self.job, "estimated_remaining_rows", None)
+        rows = float("inf") if rows_estimator is None else float(rows_estimator())
+        ns_estimator = getattr(self.job, "estimated_remaining_ns", None)
+        ns = float("inf") if ns_estimator is None else float(ns_estimator())
+        self._estimate_cache = (self.steps, rows, ns)
+        return rows, ns
+
+
+class ServingEngine:
+    """Time-slice many resumable jobs by policy — pure, reentrant, unlocked.
+
+    Parameters
+    ----------
+    clock:
+        The engine's reference :class:`~repro.system.clock.Clock` — the
+        default timeline for jobs that do not carry their own (open-loop
+        replay idles it between arrivals).  Simulated or wall.
+    policy:
+        A :class:`~repro.serving.policies.SchedulingPolicy` or its name.
+    backend:
+        Optional execution backend, recorded for attribution only (jobs
+        route their own sampling).
+    admission:
+        Optional :class:`AdmissionController`.  The engine *releases*
+        capacity as jobs finalize; acquiring happens at the door (the
+        caller sheds before a job is ever built).
+    metrics:
+        Optional :class:`ServingMetrics` fed on every finalization.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        policy: str | SchedulingPolicy = "fifo",
+        backend=None,
+        admission: AdmissionController | None = None,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        self.clock = clock
+        self.policy = make_policy(policy)
+        self.backend = backend
+        self.admission = admission
+        self.metrics = metrics
+        self._entries: list[TrackedJob] = []
+        self._fresh: list[TrackedJob] = []
+        self._order = 0
+
+    # ------------------------------------------------------------- submission
+
+    def submit(
+        self,
+        job,
+        *,
+        deadline_ns: float | None = None,
+        on_deadline: str = "partial",
+        name: str | None = None,
+        submitted_ns: float | None = None,
+        clock: Clock | None = None,
+    ) -> TrackedJob:
+        """Enqueue one resumable job; its latency clock starts now.
+
+        ``deadline_ns`` is *relative* to submission; ``submitted_ns``
+        overrides the submission timestamp (open-loop replay backdates it
+        to the arrival time, so queue latency and the deadline are measured
+        from when the request arrived, not when the server got to it).
+        ``clock`` is the job's own time source and defaults to the job's
+        ``clock`` attribute (sessions stamp their jobs) or, failing that,
+        the engine clock — all of the entry's timestamps live on it.
+        """
+        if on_deadline not in ON_DEADLINE:
+            raise ValueError(
+                f"on_deadline must be one of {ON_DEADLINE}, got {on_deadline!r}"
+            )
+        if deadline_ns is not None and deadline_ns <= 0:
+            raise ValueError(f"deadline_ns must be positive, got {deadline_ns}")
+        job_clock = clock or getattr(job, "clock", None) or self.clock
+        submitted = job_clock.elapsed_ns if submitted_ns is None else submitted_ns
+        entry = TrackedJob(
+            job=job,
+            name=name or getattr(job, "name", f"job-{self._order}"),
+            seq=self._order,
+            clock=job_clock,
+            submitted_ns=submitted,
+            deadline_ns=None if deadline_ns is None else submitted + deadline_ns,
+            on_deadline=on_deadline,
+        )
+        self._order += 1
+        self._entries.append(entry)
+        return entry
+
+    # -------------------------------------------------------------- inspection
+
+    def _runnable(self) -> list[TrackedJob]:
+        return [e for e in self._entries if e.outcome is None]
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet finalized."""
+        return len(self._runnable())
+
+    @property
+    def idle(self) -> bool:
+        return not self._runnable()
+
+    # ------------------------------------------------------------- finalization
+
+    def _finalize(self, entry: TrackedJob, status: str, report, error=None) -> None:
+        entry.outcome = ServingOutcome(
+            name=entry.name,
+            status=status,
+            report=report,
+            submitted_ns=entry.submitted_ns,
+            finished_ns=entry.clock.elapsed_ns,
+            steps=entry.steps,
+            service_ns=entry.service_ns,
+            deadline_ns=entry.deadline_ns,
+            error=error,
+        )
+        self._fresh.append(entry)
+        if self.admission is not None:
+            self.admission.release()
+        if self.metrics is not None:
+            self.metrics.record_outcome(entry.outcome)
+
+    def _settle_expired(
+        self, entry: TrackedJob, now: float, error: DeadlineMiss | None = None
+    ) -> None:
+        """Deadline decision: partial answer if the job offers one, else a
+        typed miss.  Shared by real expiry and feasibility shedding, which
+        passes its own (:class:`InfeasibleDeadline`) error."""
+        if entry.on_deadline == "partial" and hasattr(entry.job, "finish_partial"):
+            self._finalize(entry, PARTIAL, entry.job.finish_partial(entry.service_ns))
+        else:
+            self._finalize(
+                entry,
+                MISS,
+                None,
+                error=error or DeadlineMiss(entry.name, entry.deadline_ns, now),
+            )
+
+    def _expire_due(self) -> None:
+        """Finalize every unfinished job whose deadline its clock has passed.
+
+        Runs before each slice is granted (a job already past its deadline
+        must not consume more server time) and again after it (one job's
+        service can push *waiting* jobs past their deadlines).
+        """
+        for entry in self._runnable():
+            now = entry.clock.elapsed_ns
+            if entry.deadline_ns is None or now < entry.deadline_ns:
+                continue
+            self._settle_expired(entry, now)
+
+    def _shed_infeasible(self) -> None:
+        """Feasibility-aware policies: settle doomed deadline jobs *now*.
+
+        A job whose remaining-cost lookahead already overshoots its
+        deadline cannot complete in time under any schedule; granting it
+        further slices only drags *feasible* requests past their deadlines
+        too — the classic EDF overload domino.  Such jobs are settled
+        immediately with whatever partial answer their samples so far
+        support, freeing both server time and an admission slot for
+        requests that can still win.
+
+        Only jobs that have not yet received a slice are screened: at
+        submission the lookahead tracks true service closely, but mid-run
+        it can overestimate by orders of magnitude (the stage-3 residual
+        is a theoretical target that the run's actual samples largely
+        cover), so a mid-run screen would shed requests that were about to
+        finish.  The policy's ``feasibility_margin`` additionally discounts
+        the estimate (``now + margin × estimate > deadline``).
+        """
+        margin = getattr(self.policy, "feasibility_margin", 1.0)
+        for entry in self._runnable():
+            if entry.deadline_ns is None or entry.steps > 0:
+                continue
+            remaining = entry.estimated_remaining_ns()
+            if remaining == float("inf"):
+                continue
+            now = entry.clock.elapsed_ns
+            if now + margin * remaining > entry.deadline_ns:
+                self._settle_expired(
+                    entry,
+                    now,
+                    error=InfeasibleDeadline(
+                        entry.name, entry.deadline_ns, now, remaining
+                    ),
+                )
+
+    # --------------------------------------------------------------- execution
+
+    def step(self) -> bool:
+        """Grant one time slice: expire overdue jobs, shed infeasible ones
+        (feasibility-aware policies only), let the policy pick a runnable
+        job, advance it one bounded step, settle the consequences.
+        Returns False when there was nothing to run."""
+        self._expire_due()
+        if getattr(self.policy, "feasibility_aware", False):
+            self._shed_infeasible()
+        runnable = self._runnable()
+        if not runnable:
+            return False
+        entry = self.policy.select(runnable, self.clock.elapsed_ns)
+        before = entry.clock.elapsed_ns
+        entry.job.step()
+        entry.service_ns += entry.clock.elapsed_ns - before
+        entry.steps += 1
+        entry.rr_key = self._order
+        self._order += 1
+        if entry.job.done:
+            # Done beats expired: a job finishing exactly on its deadline
+            # (round boundary == deadline) is a hit, not a miss.
+            self._finalize(entry, COMPLETED, entry.job.finish(entry.service_ns))
+        self._expire_due()
+        return True
+
+    def run_until_idle(self) -> tuple[ServingOutcome, ...]:
+        """Drain every pending job; returns outcomes finalized by this call."""
+        while self.step():
+            pass
+        return tuple(entry.outcome for entry in self.take_finished())
+
+    def cancel_pending(self, reason: str = "serving engine shut down") -> int:
+        """Finalize every unfinished job as :data:`CANCELLED` (shutdown path).
+
+        The jobs get no further steps; their partial work is discarded.
+        Returns the number of jobs cancelled.
+        """
+        live = self._runnable()
+        for entry in live:
+            self._finalize(entry, CANCELLED, None, error=ServingError(reason))
+        return len(live)
+
+    def take_finished(self) -> list[TrackedJob]:
+        """Entries finalized since the last take (submission order), for
+        callers that need the entry ↔ outcome pairing (handle dispatch)."""
+        fresh = sorted(self._fresh, key=lambda e: e.seq)
+        self._fresh.clear()
+        return fresh

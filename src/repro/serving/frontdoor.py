@@ -1,20 +1,29 @@
-"""The async serving front door: accept queries while others are running.
+"""The thread serving front door: accept queries while others are running.
 
-:class:`FrontDoor` sits in front of a :class:`~repro.system.MatchSession`
-and turns the batch drain into an online server:
+:class:`FrontDoor` is one of the thin *drivers* over the pure scheduling
+core (:class:`~repro.serving.engine.ServingEngine`); the asyncio driver
+lives in :mod:`repro.serving.async_frontdoor`, the batch drain in
+:mod:`repro.system.scheduler`.  A driver owns concurrency (threads here,
+a task there, nothing for the drain) and delegates every scheduling
+decision — policy, deadlines, feasibility shedding, settlement — to the
+engine, so all drivers share one semantics.
+
+The door serves a *service*: either one
+:class:`~repro.system.MatchSession` (single dataset) or a
+:class:`~repro.system.SessionRegistry` (many datasets, requests routed by
+their ``dataset`` key).  Either way:
 
 - **admission control** — arrivals beyond ``max_queue`` requests in flight
   are shed with a typed :class:`AdmissionRejected` *before* any
   preparation work is spent on them;
 - **deadline-aware scheduling** — admitted requests become resumable
-  stepper jobs time-sliced by a pluggable policy on the session's shared
-  simulated clock, with per-request deadlines settled by the
-  :class:`~repro.serving.scheduler.ServingScheduler` core (ε-relaxed
-  partial answers or typed misses);
+  stepper jobs time-sliced by a pluggable policy, with per-request
+  deadlines settled by the engine (ε-relaxed partial answers or typed
+  misses) on each job's own clock;
 - **two drive modes** — :meth:`start` spawns a scheduler thread so
   :meth:`submit` can be called while earlier queries run (handles resolve
   asynchronously), while :meth:`replay` runs a whole open-loop arrival
-  trace synchronously on the simulated clock (deterministic; used by the
+  trace synchronously on a *virtual* clock (deterministic; used by the
   benchmark and the CLI trace mode).
 
 The front door never changes what a query computes: a request served here
@@ -25,15 +34,57 @@ The front door never changes what a query computes: a request served here
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from .admission import AdmissionController
+from .engine import ServingEngine, ServingOutcome, TrackedJob
 from .metrics import SHED, ServingMetrics
 from .policies import SchedulingPolicy
 from .request import AdmissionRejected, QueryRequest, ServingError
-from .scheduler import ServingOutcome, ServingScheduler
 
-__all__ = ["FrontDoor", "ResponseHandle"]
+__all__ = ["FrontDoor", "ResponseHandle", "admit_request"]
+
+
+def admit_request(
+    service,
+    engine: ServingEngine,
+    admission: AdmissionController,
+    metrics: ServingMetrics,
+    request: QueryRequest,
+    default_deadline_ns: float | None,
+    default_max_step_rows: int | None,
+) -> TrackedJob:
+    """Admission + routing + job construction + engine submission.
+
+    The shared admit path of every online driver (thread and asyncio).
+    Raises :class:`AdmissionRejected` without building the job when the
+    queue is full — load shedding must not pay preparation costs.  The
+    caller provides mutual exclusion.
+    """
+    name = request.name or request.query.name or "query"
+    if not admission.try_admit():
+        metrics.record_shed(
+            had_deadline=(request.deadline_ns or default_deadline_ns) is not None
+        )
+        raise AdmissionRejected(name, admission.in_flight, admission.max_queue)
+    try:
+        job = service.job_for_request(
+            request, default_max_step_rows=default_max_step_rows
+        )
+        return engine.submit(
+            job,
+            deadline_ns=(
+                request.deadline_ns
+                if request.deadline_ns is not None
+                else default_deadline_ns
+            ),
+            on_deadline=request.on_deadline,
+            name=request.name,
+        )
+    except Exception:
+        # The slot was acquired but no job will ever release it.
+        admission.release()
+        raise
 
 
 class ResponseHandle:
@@ -74,15 +125,16 @@ class ResponseHandle:
 
 
 class FrontDoor:
-    """Online admission + scheduling in front of one ``MatchSession``.
+    """Online admission + scheduling in front of one serving *service*.
 
     Parameters
     ----------
-    session:
-        The :class:`~repro.system.MatchSession` that prepares artifacts and
-        builds resumable jobs.  The front door drives the session's shared
-        clock and backend; :meth:`shutdown` closes the session (safe even
-        if the caller closes it again — ``close`` is idempotent).
+    service:
+        A :class:`~repro.system.MatchSession` (single dataset) or
+        :class:`~repro.system.SessionRegistry` (many datasets; requests
+        route by ``dataset`` key) — anything exposing ``job_for_request``,
+        ``clock``, ``backend``, and ``close``.  :meth:`shutdown` closes it
+        (safe even if the caller closes it again — closes are idempotent).
     policy:
         Scheduling policy name or instance (default ``"edf"``).
     max_queue:
@@ -96,22 +148,22 @@ class FrontDoor:
 
     def __init__(
         self,
-        session,
+        service,
         *,
         policy: str | SchedulingPolicy = "edf",
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
     ) -> None:
-        self.session = session
+        self.service = service
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(max_queue)
         self.default_deadline_ns = default_deadline_ns
         self.default_max_step_rows = default_max_step_rows
-        self.scheduler = ServingScheduler(
-            session.clock,
+        self.engine = ServingEngine(
+            service.clock,
             policy=policy,
-            backend=session.backend,
+            backend=service.backend,
             admission=self.admission,
             metrics=self.metrics,
         )
@@ -123,50 +175,29 @@ class FrontDoor:
         self._drain_on_stop = True
         self._handles: dict[int, ResponseHandle] = {}
 
+    @property
+    def session(self):
+        """The served service (historical name; may be a registry)."""
+        return self.service
+
+    @property
+    def scheduler(self) -> ServingEngine:
+        """The scheduling core (historical name for :attr:`engine`)."""
+        return self.engine
+
     # ------------------------------------------------------------- submission
 
-    def _admit(self, request: QueryRequest):
-        """Admission + job construction + scheduling (caller holds the lock).
-
-        Raises :class:`AdmissionRejected` without building the job when the
-        queue is full — load shedding must not pay preparation costs.
-        """
-        name = request.name or request.query.name or "query"
-        if not self.admission.try_admit():
-            self.metrics.record_shed(
-                had_deadline=(request.deadline_ns or self.default_deadline_ns)
-                is not None
-            )
-            raise AdmissionRejected(
-                name, self.admission.in_flight, self.admission.max_queue
-            )
-        try:
-            job = self.session.make_job(
-                request.query,
-                approach=request.approach,
-                config=request.config,
-                seed=request.seed,
-                max_step_rows=(
-                    request.max_step_rows
-                    if request.max_step_rows is not None
-                    else self.default_max_step_rows
-                ),
-                name=request.name,
-            )
-            return self.scheduler.submit(
-                job,
-                deadline_ns=(
-                    request.deadline_ns
-                    if request.deadline_ns is not None
-                    else self.default_deadline_ns
-                ),
-                on_deadline=request.on_deadline,
-                name=request.name,
-            )
-        except Exception:
-            # The slot was acquired but no job will ever release it.
-            self.admission.release()
-            raise
+    def _admit(self, request: QueryRequest) -> TrackedJob:
+        """Admission + job construction + scheduling (caller holds the lock)."""
+        return admit_request(
+            self.service,
+            self.engine,
+            self.admission,
+            self.metrics,
+            request,
+            self.default_deadline_ns,
+            self.default_max_step_rows,
+        )
 
     def submit(self, request: QueryRequest) -> ResponseHandle:
         """Admit one request while others run; returns a handle immediately.
@@ -190,7 +221,7 @@ class FrontDoor:
     def _dispatch(self) -> list[ServingOutcome]:
         """Resolve handles for everything finalized since the last call."""
         outcomes = []
-        for entry in self.scheduler.take_finished():
+        for entry in self.engine.take_finished():
             assert entry.outcome is not None
             outcomes.append(entry.outcome)
             handle = self._handles.pop(entry.seq, None)
@@ -202,7 +233,7 @@ class FrontDoor:
         """Serve synchronously until idle (no-thread mode); returns the
         outcomes finalized by this call, in submission order."""
         with self._lock:
-            while self.scheduler.step():
+            while self.engine.step():
                 pass
             return self._dispatch()
 
@@ -212,13 +243,13 @@ class FrontDoor:
             while True:
                 with self._wake:
                     if self._stopping and (
-                        not self._drain_on_stop or self.scheduler.idle
+                        not self._drain_on_stop or self.engine.idle
                     ):
                         break
-                    if self.scheduler.idle:
+                    if self.engine.idle:
                         self._wake.wait(timeout=0.05)
                         continue
-                    self.scheduler.step()
+                    self.engine.step()
                     self._dispatch()
         except Exception as exc:
             # A failing job must not strand the other requests' handles:
@@ -228,7 +259,7 @@ class FrontDoor:
             with self._wake:
                 self._stopping = True
                 self._accepting = False
-                self.scheduler.cancel_pending(reason)
+                self.engine.cancel_pending(reason)
                 self._dispatch()
 
     def start(self) -> "FrontDoor":
@@ -248,7 +279,7 @@ class FrontDoor:
     def replay(
         self, trace: Iterable[tuple[float, QueryRequest]]
     ) -> tuple[ServingOutcome, ...]:
-        """Serve an open-loop arrival trace on the simulated clock.
+        """Serve an open-loop arrival trace on the service's virtual clock.
 
         ``trace`` holds ``(arrival_ns, request)`` pairs.  Arrivals are
         injected once the clock reaches their timestamp — the server cannot
@@ -260,16 +291,23 @@ class FrontDoor:
         open-loop.  Shed arrivals yield :data:`SHED` outcomes.
 
         Synchronous and deterministic; mutually exclusive with
-        :meth:`start`.  Returns every outcome of the trace, in arrival
-        order.
+        :meth:`start`, and only meaningful on a virtual
+        (:class:`~repro.system.clock.SimulatedClock`) timeline — a wall
+        clock cannot be idled forward.  Returns every outcome of the
+        trace, in arrival order.
         """
         with self._lock:
             if self._thread is not None:
                 raise ServingError("replay() cannot run alongside start()")
             if not self._accepting:
                 raise ServingError("front door is shut down")
+            clock = self.service.clock
+            if not getattr(clock, "virtual", False):
+                raise ServingError(
+                    "replay() needs a virtual clock (SimulatedClock); "
+                    f"the service runs on {type(clock).__name__}"
+                )
             events = sorted(trace, key=lambda pair: pair[0])
-            clock = self.session.clock
             by_arrival: dict[int, ServingOutcome] = {}
             arrival_of: dict[int, int] = {}  # entry.seq -> arrival index
             cursor = 0
@@ -302,8 +340,8 @@ class FrontDoor:
                             deadline_ns=None,
                             error=exc,
                         )
-                worked = self.scheduler.step()
-                for entry in self.scheduler.take_finished():
+                worked = self.engine.step()
+                for entry in self.engine.take_finished():
                     assert entry.outcome is not None
                     index = arrival_of.get(entry.seq)
                     if index is not None:
@@ -317,25 +355,23 @@ class FrontDoor:
                 if not worked:
                     if cursor >= len(events):
                         break
-                    gap = events[cursor][0] - clock.elapsed_ns
-                    if gap > 0:
-                        clock.charge_serial(idle=gap)
+                    clock.idle_until(events[cursor][0])
             return tuple(by_arrival[i] for i in sorted(by_arrival))
 
     # ---------------------------------------------------------------- shutdown
 
     def shutdown(self, drain: bool = True, timeout: float | None = None) -> bool:
-        """Stop accepting, finish (or cancel) in-flight work, close the session.
+        """Stop accepting, finish (or cancel) in-flight work, close the service.
 
         ``drain=True`` serves every admitted request to its normal outcome
         first; ``drain=False`` cancels in-flight requests, resolving their
-        handles with a :class:`ServingError`.  Idempotent, and the session
+        handles with a :class:`ServingError`.  Idempotent, and the service
         close underneath is idempotent too — a caller that also closes the
-        session (or calls shutdown twice) is safe.
+        session/registry (or calls shutdown twice) is safe.
 
-        Returns True once everything is stopped and the session is closed.
+        Returns True once everything is stopped and the service is closed.
         When ``timeout`` expires with the scheduler thread still draining,
-        returns False *without* closing the session (closing the backend
+        returns False *without* closing the service (closing the backend
         under a thread that is still stepping would fail its in-flight
         query); call :meth:`shutdown` again to finish.
         """
@@ -353,11 +389,11 @@ class FrontDoor:
         elif not already:
             with self._lock:
                 if drain:
-                    while self.scheduler.step():
+                    while self.engine.step():
                         pass
-                self.scheduler.cancel_pending("front door shut down mid-flight")
+                self.engine.cancel_pending("front door shut down mid-flight")
                 self._dispatch()
-        self.session.close()
+        self.service.close()
         return True
 
     def __enter__(self) -> "FrontDoor":

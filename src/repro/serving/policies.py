@@ -13,6 +13,13 @@ byte-identical per-query answers, a property the serving tests pin.
 - **edf** — earliest deadline first: the classic result that EDF maximizes
   deadline hits on a single server when feasible; requests without
   deadlines run in arrival order behind every deadline-carrying request.
+- **edf-f** — feasibility-aware EDF: same ordering, but *queued* jobs
+  whose full-run lookahead estimate can no longer meet their deadline are
+  settled as ε-relaxed partial answers *immediately* (the engine honours
+  the policy's ``feasibility_aware`` flag).  Past ~1.5× overload pure EDF
+  exhibits the classic domino — it keeps granting slices to the most
+  imminent, hence most doomed, request — while edf-f answers the doomed
+  ones up front and spends those slices on requests that can still win.
 - **cost** — shortest expected remaining cost, using the paper's own
   budgeting machinery (Eq. 1 round budgets + the stage-3 target) as the
   estimate: SRPT-style mean-latency minimization.
@@ -30,6 +37,7 @@ from typing import Sequence
 __all__ = [
     "POLICIES",
     "EdfPolicy",
+    "FeasibleEdfPolicy",
     "FifoPolicy",
     "RoundRobinPolicy",
     "SchedulingPolicy",
@@ -42,6 +50,12 @@ class SchedulingPolicy(ABC):
     """Strategy choosing the next job to advance by one step."""
 
     name: str = "abstract"
+
+    #: When True, the engine settles deadline-carrying jobs whose
+    #: remaining-cost lookahead (``estimated_remaining_ns``) can no longer
+    #: meet their deadline as immediate ε-relaxed partials, before granting
+    #: any slice.
+    feasibility_aware: bool = False
 
     @abstractmethod
     def select(self, runnable: Sequence, now_ns: float):
@@ -87,6 +101,30 @@ class EdfPolicy(SchedulingPolicy):
         )
 
 
+class FeasibleEdfPolicy(EdfPolicy):
+    """EDF ordering over only the requests that can still make it.
+
+    Selection is inherited unchanged from EDF; the policy's
+    ``feasibility_aware`` flag makes the engine settle doomed *queued*
+    deadline-carrying jobs — whose full-run lookahead estimate no longer
+    fits their remaining deadline — as immediate partial answers before
+    any selection happens.  Only never-started jobs are screened: at
+    submission the estimate tracks true service closely, while mid-run it
+    can overestimate wildly (the stage-3 residual is a theoretical
+    target), so screening there would shed requests that were about to
+    finish.
+    """
+
+    name = "edf-f"
+    feasibility_aware = True
+
+    #: Discount on the remaining-cost lookahead in the engine's doomed
+    #: test (``now + margin × estimate > deadline``).  1.0 trusts the
+    #: at-submission estimate outright; shrinking toward 0 sheds less and
+    #: degenerates to plain EDF.
+    feasibility_margin: float = 1.0
+
+
 class ShortestCostPolicy(SchedulingPolicy):
     """Shortest expected remaining cost (the paper's lookahead estimate)."""
 
@@ -97,12 +135,13 @@ class ShortestCostPolicy(SchedulingPolicy):
 
 
 #: Policy names accepted by the CLI and :func:`make_policy`.
-POLICIES = ("fifo", "rr", "edf", "cost")
+POLICIES = ("fifo", "rr", "edf", "edf-f", "cost")
 
 _POLICY_CLASSES = {
     FifoPolicy.name: FifoPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
     EdfPolicy.name: EdfPolicy,
+    FeasibleEdfPolicy.name: FeasibleEdfPolicy,
     ShortestCostPolicy.name: ShortestCostPolicy,
 }
 

@@ -19,8 +19,10 @@ __all__ = [
     "ON_DEADLINE",
     "AdmissionRejected",
     "DeadlineMiss",
+    "InfeasibleDeadline",
     "QueryRequest",
     "ServingError",
+    "UnknownDataset",
 ]
 
 #: What to do when a request's deadline expires before its run completes:
@@ -46,6 +48,18 @@ class AdmissionRejected(ServingError):
         )
 
 
+class UnknownDataset(ServingError):
+    """A request named a dataset the serving registry does not hold."""
+
+    def __init__(self, dataset: str | None, known: tuple[str, ...]) -> None:
+        self.dataset = dataset
+        self.known = known
+        what = "no dataset key" if dataset is None else f"dataset {dataset!r}"
+        super().__init__(
+            f"request carries {what}; registry serves {sorted(known)!r}"
+        )
+
+
 class DeadlineMiss(ServingError):
     """A request's deadline expired and it asked for no partial answer."""
 
@@ -56,6 +70,37 @@ class DeadlineMiss(ServingError):
         super().__init__(
             f"request {name!r} missed its deadline "
             f"({deadline_ns * 1e-6:.3f} ms; clock at {elapsed_ns * 1e-6:.3f} ms)"
+        )
+
+
+class InfeasibleDeadline(DeadlineMiss):
+    """A feasibility-aware policy declared the deadline unmeetable *before*
+    it elapsed: the request's remaining-cost lookahead no longer fit.
+
+    A subclass of :class:`DeadlineMiss` so callers that only branch on
+    misses keep working, while the message (and type) distinguish a
+    predictive shed from a real expiry.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        deadline_ns: float,
+        elapsed_ns: float,
+        estimated_remaining_ns: float,
+    ) -> None:
+        self.name = name
+        self.deadline_ns = deadline_ns
+        self.elapsed_ns = elapsed_ns
+        self.estimated_remaining_ns = estimated_remaining_ns
+        # Skip DeadlineMiss's "missed its deadline" message: nothing has
+        # expired yet, the deadline was *predicted* unmeetable.
+        ServingError.__init__(
+            self,
+            f"request {name!r} declared infeasible at "
+            f"{elapsed_ns * 1e-6:.3f} ms: estimated "
+            f"{estimated_remaining_ns * 1e-6:.3f} ms of service remain but "
+            f"its deadline is {deadline_ns * 1e-6:.3f} ms",
         )
 
 
@@ -87,6 +132,11 @@ class QueryRequest:
         ``"partial"`` (default) or ``"miss"`` — see :data:`ON_DEADLINE`.
     name:
         Display name; defaults to the query's name.
+    dataset:
+        Routing key for a multi-tenant front door over a
+        :class:`~repro.system.SessionRegistry`: the request is served by
+        the session registered under this key.  ``None`` routes to the
+        registry's only session (and is ignored by a single-session door).
     """
 
     query: HistogramQuery
@@ -97,6 +147,7 @@ class QueryRequest:
     deadline_ns: float | None = None
     on_deadline: str = "partial"
     name: str | None = None
+    dataset: str | None = None
 
     def __post_init__(self) -> None:
         if self.on_deadline not in ON_DEADLINE:

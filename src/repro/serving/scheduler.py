@@ -1,35 +1,27 @@
-"""Deadline-aware, policy-pluggable scheduling of resumable query jobs.
+"""Deadline-aware scheduling of resumable query jobs (engine facade).
 
-This is the execution core the serving front door (and the legacy batch
-drain) runs on.  It generalizes PR 2's round-robin drain along three axes:
-
-- **policy** — each time slice goes to whichever runnable job the pluggable
-  :class:`~repro.serving.policies.SchedulingPolicy` picks (FIFO, round-
-  robin, earliest-deadline-first, shortest-expected-remaining-cost);
-- **deadlines** — every job may carry an absolute deadline on the shared
-  :class:`~repro.system.clock.SimulatedClock`; when the clock passes it the
-  job is *finalized early* with either an ε-relaxed partial answer (the
-  current top-k plus its actually-achieved guarantee) or a typed
-  :class:`~repro.serving.request.DeadlineMiss`;
-- **online submission** — jobs join while others run; outcomes are
-  collected incrementally (:meth:`ServingScheduler.take_finished`) rather
-  than only at the end of a drain.
-
-Scheduling never changes what a query computes: jobs consume their own
-fixed sampling order, so any interleaving produces byte-identical results
-— policies and deadlines shape *latency*, not answers.
+The actual scheduling semantics — policy-driven slice granting, deadline
+expiry with ε-relaxed partial answers, feasibility shedding, incremental
+outcome collection — live in the pure, clock-agnostic
+:class:`~repro.serving.engine.ServingEngine`.  This module keeps the
+historical :class:`ServingScheduler` name as a direct alias of the engine,
+so drivers and tests written against the PR-4 API keep working while all
+drivers (thread front door, asyncio front door, batch drain) share one
+core.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..system.clock import SimulatedClock
-from ..system.report import RunReport
-from .admission import AdmissionController
-from .metrics import CANCELLED, COMPLETED, MISS, PARTIAL, SHED, ServingMetrics
-from .policies import SchedulingPolicy, make_policy
-from .request import ON_DEADLINE, DeadlineMiss, ServingError
+from .engine import (
+    CANCELLED,
+    COMPLETED,
+    MISS,
+    PARTIAL,
+    SHED,
+    ServingEngine,
+    ServingOutcome,
+    TrackedJob,
+)
 
 __all__ = [
     "CANCELLED",
@@ -39,286 +31,9 @@ __all__ = [
     "SHED",
     "ServingOutcome",
     "ServingScheduler",
+    "TrackedJob",
 ]
 
 
-@dataclass(frozen=True)
-class ServingOutcome:
-    """One request's final serving record on the shared simulated clock.
-
-    ``status`` is one of :data:`COMPLETED` (ran to completion),
-    :data:`PARTIAL` (deadline expired; ``report`` holds the ε-relaxed
-    answer with its achieved guarantee), :data:`MISS` (deadline expired, no
-    partial requested; ``error`` holds the :class:`DeadlineMiss`),
-    :data:`CANCELLED` (front door shut down mid-flight), or :data:`SHED`
-    (rejected at admission; never ran).
-    """
-
-    name: str
-    status: str
-    report: RunReport | None
-    submitted_ns: float
-    finished_ns: float
-    steps: int
-    service_ns: float
-    deadline_ns: float | None = None
-    error: Exception | None = None
-
-    @property
-    def latency_ns(self) -> float:
-        """Submission (or open-loop arrival) to finalization."""
-        return self.finished_ns - self.submitted_ns
-
-    @property
-    def latency_seconds(self) -> float:
-        return self.latency_ns * 1e-9
-
-    @property
-    def service_seconds(self) -> float:
-        return self.service_ns * 1e-9
-
-    @property
-    def deadline_hit(self) -> bool:
-        """Completed, and within the deadline if one was set."""
-        return self.status == COMPLETED and (
-            self.deadline_ns is None or self.finished_ns <= self.deadline_ns
-        )
-
-    @property
-    def ok(self) -> bool:
-        """An answer was produced (complete or partial)."""
-        return self.report is not None
-
-
-class _Tracked:
-    """Scheduler-internal bookkeeping around one submitted job."""
-
-    __slots__ = (
-        "job",
-        "name",
-        "seq",
-        "rr_key",
-        "submitted_ns",
-        "deadline_ns",
-        "on_deadline",
-        "service_ns",
-        "steps",
-        "outcome",
-        "_estimate_cache",
-    )
-
-    def __init__(
-        self,
-        job,
-        name: str,
-        seq: int,
-        submitted_ns: float,
-        deadline_ns: float | None,
-        on_deadline: str,
-    ) -> None:
-        self.job = job
-        self.name = name
-        self.seq = seq
-        self.rr_key = seq
-        self.submitted_ns = submitted_ns
-        self.deadline_ns = deadline_ns
-        self.on_deadline = on_deadline
-        self.service_ns = 0.0
-        self.steps = 0
-        self.outcome: ServingOutcome | None = None
-        self._estimate_cache: tuple[int, float] | None = None
-
-    def estimated_remaining(self) -> float:
-        """The job's lookahead cost estimate; ``inf`` when it offers none.
-
-        Cached per step: the estimate only moves when the job itself runs,
-        but a cost policy asks for every runnable job's estimate on every
-        slice — without the cache that is O(jobs) redundant estimator runs
-        per step.
-        """
-        if self._estimate_cache is not None and self._estimate_cache[0] == self.steps:
-            return self._estimate_cache[1]
-        estimator = getattr(self.job, "estimated_remaining_rows", None)
-        estimate = float("inf") if estimator is None else float(estimator())
-        self._estimate_cache = (self.steps, estimate)
-        return estimate
-
-
-class ServingScheduler:
-    """Time-slice many resumable jobs on one simulated clock, by policy.
-
-    Parameters
-    ----------
-    clock:
-        The shared clock every job charges; deadlines live on it.
-    policy:
-        A :class:`~repro.serving.policies.SchedulingPolicy` or its name.
-    backend:
-        Optional execution backend, recorded for attribution only (jobs
-        route their own sampling).
-    admission:
-        Optional :class:`AdmissionController`.  The scheduler *releases*
-        capacity as jobs finalize; acquiring happens at the door (the
-        caller sheds before a job is ever built).
-    metrics:
-        Optional :class:`ServingMetrics` fed on every finalization.
-    """
-
-    def __init__(
-        self,
-        clock: SimulatedClock,
-        policy: str | SchedulingPolicy = "fifo",
-        backend=None,
-        admission: AdmissionController | None = None,
-        metrics: ServingMetrics | None = None,
-    ) -> None:
-        self.clock = clock
-        self.policy = make_policy(policy)
-        self.backend = backend
-        self.admission = admission
-        self.metrics = metrics
-        self._entries: list[_Tracked] = []
-        self._fresh: list[_Tracked] = []
-        self._order = 0
-
-    # ------------------------------------------------------------- submission
-
-    def submit(
-        self,
-        job,
-        *,
-        deadline_ns: float | None = None,
-        on_deadline: str = "partial",
-        name: str | None = None,
-        submitted_ns: float | None = None,
-    ) -> _Tracked:
-        """Enqueue one resumable job; its latency clock starts now.
-
-        ``deadline_ns`` is *relative* to submission; ``submitted_ns``
-        overrides the submission timestamp (open-loop replay backdates it
-        to the arrival time, so queue latency and the deadline are measured
-        from when the request arrived, not when the server got to it).
-        """
-        if on_deadline not in ON_DEADLINE:
-            raise ValueError(
-                f"on_deadline must be one of {ON_DEADLINE}, got {on_deadline!r}"
-            )
-        if deadline_ns is not None and deadline_ns <= 0:
-            raise ValueError(f"deadline_ns must be positive, got {deadline_ns}")
-        submitted = self.clock.elapsed_ns if submitted_ns is None else submitted_ns
-        entry = _Tracked(
-            job=job,
-            name=name or getattr(job, "name", f"job-{self._order}"),
-            seq=self._order,
-            submitted_ns=submitted,
-            deadline_ns=None if deadline_ns is None else submitted + deadline_ns,
-            on_deadline=on_deadline,
-        )
-        self._order += 1
-        self._entries.append(entry)
-        return entry
-
-    # -------------------------------------------------------------- inspection
-
-    def _runnable(self) -> list[_Tracked]:
-        return [e for e in self._entries if e.outcome is None]
-
-    @property
-    def pending(self) -> int:
-        """Jobs submitted but not yet finalized."""
-        return len(self._runnable())
-
-    @property
-    def idle(self) -> bool:
-        return not self._runnable()
-
-    # ------------------------------------------------------------- finalization
-
-    def _finalize(self, entry: _Tracked, status: str, report, error=None) -> None:
-        entry.outcome = ServingOutcome(
-            name=entry.name,
-            status=status,
-            report=report,
-            submitted_ns=entry.submitted_ns,
-            finished_ns=self.clock.elapsed_ns,
-            steps=entry.steps,
-            service_ns=entry.service_ns,
-            deadline_ns=entry.deadline_ns,
-            error=error,
-        )
-        self._fresh.append(entry)
-        if self.admission is not None:
-            self.admission.release()
-        if self.metrics is not None:
-            self.metrics.record_outcome(entry.outcome)
-
-    def _expire_due(self) -> None:
-        """Finalize every unfinished job whose deadline the clock has passed.
-
-        Runs before each slice is granted (a job already past its deadline
-        must not consume more server time) and again after it (one job's
-        service can push *waiting* jobs past their deadlines).
-        """
-        now = self.clock.elapsed_ns
-        for entry in self._runnable():
-            if entry.deadline_ns is None or now < entry.deadline_ns:
-                continue
-            if entry.on_deadline == "partial" and hasattr(entry.job, "finish_partial"):
-                self._finalize(
-                    entry, PARTIAL, entry.job.finish_partial(entry.service_ns)
-                )
-            else:
-                self._finalize(
-                    entry,
-                    MISS,
-                    None,
-                    error=DeadlineMiss(entry.name, entry.deadline_ns, now),
-                )
-
-    # --------------------------------------------------------------- execution
-
-    def step(self) -> bool:
-        """Grant one time slice: expire overdue jobs, let the policy pick a
-        runnable job, advance it one bounded step, settle the consequences.
-        Returns False when there was nothing to run."""
-        self._expire_due()
-        runnable = self._runnable()
-        if not runnable:
-            return False
-        entry = self.policy.select(runnable, self.clock.elapsed_ns)
-        before = self.clock.elapsed_ns
-        entry.job.step()
-        entry.service_ns += self.clock.elapsed_ns - before
-        entry.steps += 1
-        entry.rr_key = self._order
-        self._order += 1
-        if entry.job.done:
-            # Done beats expired: a job finishing exactly on its deadline
-            # (round boundary == deadline) is a hit, not a miss.
-            self._finalize(entry, COMPLETED, entry.job.finish(entry.service_ns))
-        self._expire_due()
-        return True
-
-    def run_until_idle(self) -> tuple[ServingOutcome, ...]:
-        """Drain every pending job; returns outcomes finalized by this call."""
-        while self.step():
-            pass
-        return tuple(entry.outcome for entry in self.take_finished())
-
-    def cancel_pending(self, reason: str = "serving scheduler shut down") -> int:
-        """Finalize every unfinished job as :data:`CANCELLED` (shutdown path).
-
-        The jobs get no further steps; their partial work is discarded.
-        Returns the number of jobs cancelled.
-        """
-        live = self._runnable()
-        for entry in live:
-            self._finalize(entry, CANCELLED, None, error=ServingError(reason))
-        return len(live)
-
-    def take_finished(self) -> list[_Tracked]:
-        """Entries finalized since the last take (submission order), for
-        callers that need the entry ↔ outcome pairing (handle dispatch)."""
-        fresh = sorted(self._fresh, key=lambda e: e.seq)
-        self._fresh.clear()
-        return fresh
+class ServingScheduler(ServingEngine):
+    """The PR-4 name for the scheduling core; see :class:`ServingEngine`."""

@@ -1,8 +1,9 @@
-"""The FastMatch system architecture (Section 4): simulated clock, statistics
-engine, Scan baseline, the four-approach runner, and the multi-query
-serving layer (sessions + round-robin scheduler)."""
+"""The FastMatch system architecture (Section 4): clocks (simulated and
+wall), statistics engine, Scan baseline, the four-approach runner, and the
+multi-query serving layer (sessions, the batch scheduler, and the
+multi-tenant session registry)."""
 
-from .clock import SimulatedClock
+from .clock import Clock, SimulatedClock, WallClock
 from .fastmatch import (
     APPROACHES,
     DEFAULT_BLOCK_SIZE,
@@ -18,6 +19,7 @@ from .scheduler import (
     RoundRobinScheduler,
     ScheduleResult,
 )
+from .registry import SessionRegistry
 from .session import CacheStats, MatchSession
 from .stats_engine import StatsEngine
 from .visualize import render_comparison, render_histogram, render_result
@@ -34,7 +36,9 @@ __all__ = [
     "RunReport",
     "ServingReport",
     "run_scan",
+    "Clock",
     "SimulatedClock",
+    "WallClock",
     "StatsEngine",
     "BatchScheduler",
     "JobOutcome",
@@ -42,4 +46,5 @@ __all__ = [
     "ScheduleResult",
     "CacheStats",
     "MatchSession",
+    "SessionRegistry",
 ]

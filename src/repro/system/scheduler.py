@@ -11,7 +11,7 @@ throughput on the shared clock.
 (:class:`~repro.serving.scheduler.ServingScheduler`) with a pluggable
 policy and no deadlines; :class:`RoundRobinScheduler` is the
 backward-compatible PR-2 name, pinned to the round-robin policy.  All jobs
-charge one shared :class:`SimulatedClock`, so the clock models a
+charge one shared :class:`~repro.system.clock.Clock`, so the clock models a
 single-threaded server interleaving queries: a query's *latency*
 (submission → completion on the shared clock) includes the time spent
 serving its neighbours, while its *service time* counts only its own
@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from ..serving.scheduler import ServingScheduler
-from .clock import SimulatedClock
+from .clock import Clock
 from .report import RunReport
 
 __all__ = [
@@ -148,7 +148,7 @@ class BatchScheduler:
         identical per-query results.
     """
 
-    def __init__(self, clock: SimulatedClock, backend=None, policy="rr") -> None:
+    def __init__(self, clock: Clock, backend=None, policy="rr") -> None:
         self.clock = clock
         self.backend = backend
         self._core = ServingScheduler(clock, policy=policy, backend=backend)
@@ -193,5 +193,5 @@ class BatchScheduler:
 class RoundRobinScheduler(BatchScheduler):
     """The PR-2 drain: :class:`BatchScheduler` pinned to round-robin."""
 
-    def __init__(self, clock: SimulatedClock, backend=None) -> None:
+    def __init__(self, clock: Clock, backend=None) -> None:
         super().__init__(clock, backend=backend, policy="rr")

@@ -46,7 +46,7 @@ from ..query.spec import HistogramQuery
 from ..storage.cost_model import DEFAULT_COST_MODEL, CostModel
 from ..storage.shuffle import shuffle_table
 from ..storage.table import ColumnTable
-from .clock import SimulatedClock
+from .clock import Clock, SimulatedClock
 from .fastmatch import (
     APPROACHES,
     DEFAULT_BLOCK_SIZE,
@@ -122,6 +122,8 @@ class _StepperJob:
         self.approach = approach
         self.prepared = prepared
         self.config = config
+        self.clock = clock
+        self._cost_model = cost_model
         self._audit = audit
         rng = np.random.default_rng(seed)
         self.engine = make_engine(
@@ -144,6 +146,13 @@ class _StepperJob:
     def estimated_remaining_rows(self) -> float:
         """Cost hint for shortest-expected-remaining-cost scheduling."""
         return self.stepper.estimated_remaining_rows()
+
+    def estimated_remaining_ns(self) -> float:
+        """Optimistic remaining service time: the lookahead row estimate at
+        pure sequential-read cost.  A lower bound (probes, stats, and block
+        overheads come on top), which is exactly what feasibility shedding
+        wants — a deadline even this cannot meet is certainly doomed."""
+        return self.estimated_remaining_rows() * self._cost_model.tuple_read_ns
 
     def finish(self, service_ns: float) -> RunReport:
         return assemble_report(
@@ -209,6 +218,10 @@ class _ScanJob:
         """Cost hint for serving policies: a scan reads every row, once."""
         return 0.0 if self.done else float(self.prepared.shuffled.num_rows)
 
+    def estimated_remaining_ns(self) -> float:
+        """Optimistic remaining service time of the full sequential pass."""
+        return self.estimated_remaining_rows() * self.cost_model.tuple_read_ns
+
     def step(self) -> None:
         self._result, _ = run_scan(
             self.prepared.shuffled,
@@ -259,6 +272,13 @@ class MatchSession:
         can be shared across sessions; its creator closes it.
     workers:
         Worker-process count for ``backend="sharded"`` (default: CPU count).
+    clock:
+        The :class:`~repro.system.clock.Clock` every job of this session
+        charges (default: a fresh :class:`SimulatedClock`).  A
+        :class:`~repro.system.registry.SessionRegistry` passes one shared
+        clock so its sessions' deadlines and latencies live on one
+        timeline; a :class:`~repro.system.clock.WallClock` makes the
+        session serve in real time.
     policy:
         Scheduling policy for the batch drain
         (:data:`repro.serving.POLICIES`; default round-robin).  Latency
@@ -273,6 +293,13 @@ class MatchSession:
         (default) keeps the PR-2 unbounded behaviour.  The most recent
         entry is never evicted, so a single query larger than
         ``max_cached_bytes`` still runs.
+    cache_governor:
+        Optional cross-session cache coordinator (duck-typed; a
+        :class:`~repro.system.registry.SessionRegistry`).  It is notified
+        on every prepared-cache touch/insert/eviction
+        (``cache_touched(session, key)`` / ``cache_evicted(session, key)``)
+        and asked to enforce its *global* budget after inserts
+        (``enforce_budget()``), on top of this session's own bounds.
 
     Usage
     -----
@@ -292,9 +319,11 @@ class MatchSession:
         audit: bool = True,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        clock: Clock | None = None,
         policy: str = "rr",
         max_cached_queries: int | None = None,
         max_cached_bytes: int | None = None,
+        cache_governor=None,
     ) -> None:
         if max_cached_queries is not None and max_cached_queries < 1:
             raise ValueError(
@@ -308,11 +337,12 @@ class MatchSession:
         self.audit = audit
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(backend, workers)
-        self.clock = SimulatedClock()
+        self.clock = clock if clock is not None else SimulatedClock()
         self.scheduler = BatchScheduler(self.clock, backend=self.backend, policy=policy)
         self.cache_stats = CacheStats()
         self.max_cached_queries = max_cached_queries
         self.max_cached_bytes = max_cached_bytes
+        self._governor = cache_governor
         self._shuffle_cache: dict = {}
         self._index_cache: dict = {}
         self._exact_cache: dict = {}
@@ -407,6 +437,28 @@ class MatchSession:
             and self.cache_bytes > self.max_cached_bytes
         )
 
+    def _evict_prepared(self, key) -> None:
+        """Drop one cached prepared query, release its orphaned artifacts,
+        and tell the cross-session governor (if any) the slot is gone."""
+        evicted = self._prepared_cache.pop(key)
+        self.cache_stats.record_eviction("prepared")
+        self._release_artifacts(evicted)
+        if self._governor is not None:
+            self._governor.cache_evicted(self, key)
+
+    def evict_prepared(self, key) -> bool:
+        """Evict one specific cached entry (cross-session budget hook).
+
+        Refuses the session's most recent entry — it is the one being
+        served — and unknown keys; returns whether an eviction happened.
+        """
+        if key not in self._prepared_cache or len(self._prepared_cache) <= 1:
+            return False
+        if key == next(reversed(self._prepared_cache)):
+            return False
+        self._evict_prepared(key)
+        return True
+
     def _enforce_cache_bounds(self) -> None:
         """Evict least-recently-used prepared queries until within bounds.
 
@@ -415,9 +467,7 @@ class MatchSession:
         rather than failing.
         """
         while len(self._prepared_cache) > 1 and self._over_cache_bounds():
-            _, evicted = self._prepared_cache.popitem(last=False)
-            self.cache_stats.record_eviction("prepared")
-            self._release_artifacts(evicted)
+            self._evict_prepared(next(iter(self._prepared_cache)))
 
     def prepared(self, query: HistogramQuery, seed: int = 0) -> PreparedQuery:
         """The cached :class:`PreparedQuery` for ``(query, block_size, seed)``.
@@ -431,6 +481,8 @@ class MatchSession:
         if key in self._prepared_cache:
             self.cache_stats.record("prepared", True)
             self._prepared_cache.move_to_end(key)
+            if self._governor is not None:
+                self._governor.cache_touched(self, key)
             return self._prepared_cache[key]
         self.cache_stats.record("prepared", False)
         query.validate_against(self.table)
@@ -479,7 +531,11 @@ class MatchSession:
             row_filter=row_filter,
         )
         self._prepared_cache[key] = prepared
+        if self._governor is not None:
+            self._governor.cache_touched(self, key)
         self._enforce_cache_bounds()
+        if self._governor is not None:
+            self._governor.enforce_budget()
         return prepared
 
     def adopt(self, prepared: PreparedQuery, seed: int = 0) -> None:
@@ -504,7 +560,11 @@ class MatchSession:
         key = (prepared.query, self.block_size, seed)
         self._prepared_cache[key] = prepared
         self._prepared_cache.move_to_end(key)
+        if self._governor is not None:
+            self._governor.cache_touched(self, key)
         self._enforce_cache_bounds()
+        if self._governor is not None:
+            self._governor.enforce_budget()
 
     # -------------------------------------------------------------- execution
 
@@ -568,6 +628,27 @@ class MatchSession:
             self.backend,
         )
 
+    def job_for_request(self, request, default_max_step_rows: int | None = None):
+        """Build the resumable job for one serving
+        :class:`~repro.serving.QueryRequest` (the front-door seam).
+
+        ``request.dataset`` is a registry routing key; a single-session
+        door serves whatever it is handed, so the key is not checked here
+        — :class:`~repro.system.registry.SessionRegistry` routes on it.
+        """
+        return self.make_job(
+            request.query,
+            approach=request.approach,
+            config=request.config,
+            seed=request.seed,
+            max_step_rows=(
+                request.max_step_rows
+                if request.max_step_rows is not None
+                else default_max_step_rows
+            ),
+            name=request.name,
+        )
+
     def submit(
         self,
         query: HistogramQuery,
@@ -614,6 +695,26 @@ class MatchSession:
         from ..serving.frontdoor import FrontDoor
 
         return FrontDoor(
+            self,
+            policy=policy,
+            max_queue=max_queue,
+            default_deadline_ns=default_deadline_ns,
+            default_max_step_rows=default_max_step_rows,
+        )
+
+    def serve_async(
+        self,
+        *,
+        policy: str = "edf",
+        max_queue: int | None = None,
+        default_deadline_ns: float | None = None,
+        default_max_step_rows: int | None = None,
+    ):
+        """An :class:`~repro.serving.AsyncFrontDoor` over this session
+        (asyncio driver; start it from inside a running event loop)."""
+        from ..serving.async_frontdoor import AsyncFrontDoor
+
+        return AsyncFrontDoor(
             self,
             policy=policy,
             max_queue=max_queue,

@@ -425,3 +425,159 @@ class TestMakeBackend:
             make_backend("threads")
         with pytest.raises(ValueError):
             make_backend("serial", workers=2)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side segment forgetting (epoch-based attachment GC)
+# ---------------------------------------------------------------------------
+
+
+def shm_free_bytes() -> int:
+    """Free bytes on the /dev/shm tmpfs (0 where it does not exist)."""
+    if not os.path.isdir("/dev/shm"):
+        return 0
+    stat = os.statvfs("/dev/shm")
+    return stat.f_bavail * stat.f_frsize
+
+
+class TestAttachmentGC:
+    def test_gc_state_tracks_epoch_and_live_names(self):
+        with SharedMemoryStore() as store:
+            assert store.gc_state() == (0, ())
+            a = store.publish("a", np.arange(8))
+            b = store.publish("b", np.arange(8))
+            epoch, live = store.gc_state()
+            assert epoch == 0 and set(live) == {a.name, b.name}
+            store.unpublish("a")
+            epoch, live = store.gc_state()
+            assert epoch == 1 and live == (b.name,)
+            store.unpublish("a")  # idempotent: no epoch churn for no-ops
+            assert store.gc_state()[0] == 1
+
+    def test_worker_drops_stale_attachments_on_epoch_advance(self):
+        """A single worker caches attachments across tasks, then forgets the
+        ones a newer task's GC watermark no longer lists as live."""
+        p = WorkerPool(1)
+        try:
+            with SharedMemoryStore() as store:
+                tasks_a, _ = make_tasks(store, n=512, c=3, g=2, n_shards=1)
+                epoch, live = store.gc_state()
+                stamped_a = [
+                    ShardTask(
+                        **{
+                            **{f: getattr(t, f) for f in ShardTask.__dataclass_fields__},
+                            "gc_epoch": epoch,
+                            "live_segments": live,
+                        }
+                    )
+                    for t in tasks_a
+                ]
+                (res_a,) = p.run(stamped_a)
+                assert res_a.cached_attachments == 2  # z + x of dataset A
+
+                # A second dataset joins: the worker now caches 4 segments.
+                z2 = np.arange(512, dtype=np.uint8) % 3
+                x2 = np.arange(512, dtype=np.uint8) % 2
+                z2_ref = store.publish("z2", z2)
+                x2_ref = store.publish("x2", x2)
+                layout = BlockLayout(512, 32)
+                epoch, live = store.gc_state()
+                task_b = ShardTask(
+                    task_id=100,
+                    blocks=np.arange(layout.num_blocks, dtype=np.int64),
+                    z_ref=z2_ref,
+                    x_ref=x2_ref,
+                    filter_ref=None,
+                    block_size=32,
+                    num_rows=512,
+                    num_candidates=3,
+                    num_groups=2,
+                    gc_epoch=epoch,
+                    live_segments=live,
+                )
+                (res_b,) = p.run([task_b])
+                assert res_b.cached_attachments == 4
+
+                # Dataset A is evicted: the next watermark drops its two.
+                store.unpublish("z")
+                store.unpublish("x")
+                epoch, live = store.gc_state()
+                task_b2 = ShardTask(
+                    **{
+                        **{f: getattr(task_b, f) for f in ShardTask.__dataclass_fields__},
+                        "task_id": 101,
+                        "gc_epoch": epoch,
+                        "live_segments": live,
+                    }
+                )
+                (res_b2,) = p.run([task_b2])
+                assert res_b2.cached_attachments == 2
+                np.testing.assert_array_equal(res_b2.counts, res_b.counts)
+        finally:
+            p.close()
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="/dev/shm tmpfs required"
+    )
+    def test_dev_shm_shrinks_after_lru_eviction_with_live_pool(self):
+        """Regression: evicting a prepared query must actually free its
+        shared-memory pages while the worker pool keeps running.
+
+        Before epoch GC, workers cached attachments until shutdown, so an
+        unlinked segment's pages stayed pinned; now the first post-eviction
+        task makes the worker close them.
+        """
+        from repro.core.config import HistSimConfig
+        from repro.core.target import TargetSpec
+        from repro.query import HistogramQuery
+        from repro.storage.schema import CategoricalAttribute, Schema
+        from repro.storage.table import ColumnTable
+        from repro.system import MatchSession
+
+        rng = np.random.default_rng(5)
+        n = 200_000
+        z = rng.integers(0, 8, n)
+        x = rng.integers(0, 4, n)
+        schema = Schema(
+            (
+                CategoricalAttribute("z", tuple(f"c{i}" for i in range(8))),
+                CategoricalAttribute("x", tuple(f"g{i}" for i in range(4))),
+            )
+        )
+        table = ColumnTable(schema, {"z": z, "x": x})
+        query = HistogramQuery(
+            "z", "x", target=TargetSpec(kind="closest_to_uniform"), k=2, name="q"
+        )
+        config = HistSimConfig(k=2, epsilon=0.25, delta=0.05, sigma=0.0)
+
+        backend = ShardedBackend(1, min_shard_rows=0)
+        session = MatchSession(
+            table, backend=backend, max_cached_queries=1, audit=False
+        )
+        try:
+            session.submit(query, config=config, seed=0)
+            session.run()
+            prepared0 = session.prepared(query, seed=0)  # cache hit, no work
+            evicted_bytes = (
+                prepared0.shuffled.table.column("z").nbytes
+                + prepared0.shuffled.table.column("x").nbytes
+            )
+            old_names = set(backend.store.segment_names())
+            free_before = shm_free_bytes()
+
+            # Preparing a second seed evicts seed 0 (unlink; worker still
+            # pins the pages) and the subsequent run's first pooled window
+            # carries the new epoch, making the worker let go.
+            session.submit(query, config=config, seed=1)
+            session.run()
+            free_after = shm_free_bytes()
+
+            assert backend.store.epoch > 0
+            assert not (old_names & set(os.listdir("/dev/shm")))
+            assert backend.pool.alive_workers == 1  # pool never restarted
+            # Seed 1's columns were published (− evicted_bytes) AND seed 0's
+            # pages were released (+ evicted_bytes): net /dev/shm usage must
+            # not grow by another dataset's worth, which it did before GC.
+            assert free_after >= free_before - 0.5 * evicted_bytes
+        finally:
+            session.close()

@@ -398,7 +398,7 @@ class TestSchedulerThreadFailure:
                 self.clock = session.clock
                 self.backend = session.backend
 
-            def make_job(self, query, **kwargs):
+            def job_for_request(self, request, default_max_step_rows=None):
                 class _Boom:
                     name = "boom"
                     done = False
@@ -434,7 +434,7 @@ class TestSchedulerThreadFailure:
                 self.clock = session.clock
                 self.backend = session.backend
 
-            def make_job(self, query, **kwargs):
+            def job_for_request(self, request, default_max_step_rows=None):
                 clock = self.clock
 
                 class _Slow:
