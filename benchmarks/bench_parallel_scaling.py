@@ -1,14 +1,15 @@
-"""Parallel scaling: sharded-backend speedup vs worker count.
+"""Parallel scaling: threads-vs-sharded-vs-serial speedup by worker count.
 
 Unlike the paper-reproduction benchmarks (which report *simulated* latency
 from the cost model), this benchmark measures **real wall-clock time** of
-the counting work the sharded backend parallelizes: full
+the counting work the parallel backends parallelize: full
 uniform-without-replacement passes over a shuffled table, i.e. the gather +
 filter + bincount pipeline that dominates sampling cost at scale.  Two
 datasets are swept — a 10M-row synthetic built straight from
 ``repro.data.generator`` and the TAXI evaluation dataset — across worker
-counts, verifying on every run that the sharded counts are byte-identical
-to serial.
+counts for **both** parallel backends (``sharded`` process pool over
+/dev/shm, ``threads`` GIL-releasing in-process executor), verifying on
+every run that the parallel counts are byte-identical to serial.
 
 Results go to ``benchmarks/results/parallel_scaling.json`` (including each
 run's backend descriptor) and a text table.
@@ -35,7 +36,12 @@ from common import RESULTS_DIR, format_table, save_report
 from repro.bitmap.builder import build_bitmap_index
 from repro.data import load_dataset, sizes_from_weights, zipf_weights
 from repro.data.generator import conditional_column, jittered
-from repro.parallel import ExecutionBackend, SerialBackend, ShardedBackend
+from repro.parallel import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardedBackend,
+    ThreadPoolBackend,
+)
 from repro.parallel.sharded import DEFAULT_MIN_SHARD_ROWS
 from repro.sampling.engine import BlockSamplingEngine
 from repro.sampling.policies import ScanAllPolicy
@@ -119,23 +125,28 @@ def bench_dataset(
         return min(seconds), counts
 
     serial_s, serial_counts = measure(SerialBackend())
+    factories = {"sharded": ShardedBackend, "threads": ThreadPoolBackend}
     runs = []
     for workers in args.workers:
-        backend = ShardedBackend(workers, min_shard_rows=args.min_shard_rows)
-        try:
-            sharded_s, sharded_counts = measure(backend)
-            identical = bool(np.array_equal(serial_counts, sharded_counts))
-            runs.append(
-                {
-                    "workers": workers,
-                    "seconds": sharded_s,
-                    "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
-                    "identical_to_serial": identical,
-                    "backend": backend.describe(),
-                }
-            )
-        finally:
-            backend.close()
+        for backend_name, factory in factories.items():
+            backend = factory(workers, min_shard_rows=args.min_shard_rows)
+            try:
+                parallel_s, parallel_counts = measure(backend)
+                identical = bool(np.array_equal(serial_counts, parallel_counts))
+                runs.append(
+                    {
+                        "backend_name": backend_name,
+                        "workers": workers,
+                        "seconds": parallel_s,
+                        "speedup": (
+                            serial_s / parallel_s if parallel_s > 0 else float("inf")
+                        ),
+                        "identical_to_serial": identical,
+                        "backend": backend.describe(),
+                    }
+                )
+            finally:
+                backend.close()
     return {
         "dataset": name,
         "rows": table.num_rows,
@@ -166,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-shard-rows", type=int, default=None,
                         help="override the sharded backend's inline-fallback "
                              "threshold")
+    parser.add_argument("--max-concurrent-steps", type=int, default=1,
+                        help="recorded in the JSON schema: the serving-layer "
+                             "step-slot count these backend numbers pair "
+                             "with (see bench_serving.py)")
     parser.add_argument("--tiny", action="store_true",
                         help="CI smoke mode: small data, forced pool usage")
     args = parser.parse_args(argv)
@@ -192,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     results = {
         "cpu_count": os.cpu_count(),
         "tiny": args.tiny,
+        "max_concurrent_steps": args.max_concurrent_steps,
         "datasets": [],
     }
     rows_out = []
@@ -206,7 +222,8 @@ def main(argv: list[str] | None = None) -> int:
         for run in entry["runs"]:
             all_identical &= run["identical_to_serial"]
             rows_out.append(
-                [name, f"{entry['rows']:,}", f"sharded({run['workers']}w)",
+                [name, f"{entry['rows']:,}",
+                 f"{run['backend_name']}({run['workers']}w)",
                  f"{run['seconds']:.3f}", f"{run['speedup']:.2f}x",
                  "yes" if run["identical_to_serial"] else "NO"]
             )
@@ -227,7 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     save_report("parallel_scaling", table_text)
     if not all_identical:
-        print("ERROR: sharded counts diverged from serial")
+        print("ERROR: parallel counts diverged from serial")
         return 1
     return 0
 

@@ -7,8 +7,9 @@ Subpackages:
 - :mod:`repro.storage` — column-store, block layout, simulated I/O and costs.
 - :mod:`repro.bitmap` — bit-per-block bitmap indexes and density maps.
 - :mod:`repro.sampling` — block-selection policies and the sampling engine.
-- :mod:`repro.parallel` — execution backends: serial and sharded
-  (shared-memory worker pool) with byte-identical results.
+- :mod:`repro.parallel` — execution backends: serial, sharded
+  (shared-memory worker pool), and threads (GIL-releasing in-process
+  executor), all with byte-identical results.
 - :mod:`repro.system` — the FastMatch architecture and baselines.
 - :mod:`repro.serving` — the online front door: admission control,
   deadline-aware scheduling policies, bounded queues, serving metrics.
@@ -32,7 +33,13 @@ from . import (
     system,
 )
 from .match import match_histograms, match_many
-from .parallel import ExecutionBackend, SerialBackend, ShardedBackend, make_backend
+from .parallel import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardedBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from .serving import AsyncFrontDoor, FrontDoor, QueryRequest
 from .system.clock import Clock, SimulatedClock, WallClock
 from .system.registry import SessionRegistry
@@ -55,6 +62,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ShardedBackend",
+    "ThreadPoolBackend",
     "AsyncFrontDoor",
     "FrontDoor",
     "QueryRequest",

@@ -32,13 +32,17 @@ A trace file holds one JSON object per line:
 ``{"query": "flights-q1", "arrival_ms": 12.5, "deadline_ms": 40}``
 (optional keys: ``approach``, ``seed``, ``on_deadline``).
 
-Sharded parallel execution (``--backend sharded --workers N``) fans each
-window's block counting — and the exact Scan/ground-truth passes — out to
-a persistent pool of shared-memory worker processes; results are
-byte-identical to the serial backend:
+Parallel execution fans each window's block counting — and the exact
+Scan/ground-truth passes — out to workers, with byte-identical results:
+``--backend sharded --workers N`` uses a persistent pool of shared-memory
+worker processes, ``--backend threads --workers N`` an in-process thread
+pool over GIL-releasing kernels (no fork, no /dev/shm).  Online serving
+can additionally run steps of different requests concurrently
+(``serve --async --max-concurrent-steps M``):
 
     python -m repro --query taxi-q1 --backend sharded --workers 4
-    python -m repro serve --queries taxi-q1 taxi-q2 --backend sharded
+    python -m repro serve --queries taxi-q1 taxi-q2 --backend threads \\
+        --async --max-concurrent-steps 4
 """
 
 from __future__ import annotations
@@ -51,7 +55,7 @@ from pathlib import Path
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
 from .data.registry import dataset_builders
-from .parallel import BACKENDS, make_backend
+from .parallel import BACKENDS, WORKER_BACKENDS, make_backend
 from .serving import POLICIES, QueryRequest
 from .system import APPROACHES, MatchSession, SessionRegistry, run_approach
 from .system.visualize import render_result
@@ -64,6 +68,27 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
     return parsed
+
+
+def resolve_backend_args(args: argparse.Namespace) -> tuple[str, int | None]:
+    """Normalize ``(--backend, --workers)`` — the one backend-spec rule.
+
+    Every subcommand (single run, batch, serve, serve --async) routes its
+    backend choice through here: worker-carrying backends (``sharded``,
+    ``threads``) keep ``--workers``; ``serial`` with ``--workers`` is
+    ignored-with-warning rather than silently accepted (or fatally
+    rejected) — scripted callers flipping ``--backend`` should not crash,
+    but must be told their parallelism knob did nothing.
+    """
+    backend = getattr(args, "backend", "serial")
+    workers = getattr(args, "workers", None)
+    if workers is not None and backend not in WORKER_BACKENDS:
+        print(
+            f"warning: --workers {workers} is ignored with --backend {backend}",
+            file=sys.stderr,
+        )
+        workers = None
+    return backend, workers
 
 
 def _add_batch_arguments(sub: argparse.ArgumentParser, queries_required: bool = True) -> None:
@@ -96,7 +121,8 @@ def _add_batch_arguments(sub: argparse.ArgumentParser, queries_required: bool = 
     )
     sub.add_argument(
         "--workers", type=_positive_int, default=argparse.SUPPRESS,
-        help="worker processes for --backend sharded (default: CPU count)",
+        help="workers for --backend sharded (processes) or threads "
+             "(default: CPU count)",
     )
 
 
@@ -124,12 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend", choices=BACKENDS, default="serial",
         help="execution backend for sampling approaches (default: serial; "
-             "'sharded' fans block counting out to a worker-process pool "
+             "'sharded' fans block counting out to a worker-process pool, "
+             "'threads' to an in-process GIL-releasing thread pool — both "
              "with byte-identical results)",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=None,
-        help="worker processes for --backend sharded (default: CPU count)",
+        help="workers for --backend sharded (processes) or threads "
+             "(default: CPU count)",
     )
 
     subparsers = parser.add_subparsers(dest="command")
@@ -182,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
              "scheduler task, awaitable handles) instead of the "
              "synchronous open-loop replay",
     )
+    serve.add_argument(
+        "--max-concurrent-steps", type=_positive_int, default=1,
+        help="step-execution slots for --async: above 1, steps of "
+             "different requests run concurrently on a bounded executor "
+             "(answers stay byte-identical; replay mode is deterministic "
+             "single-slot and ignores this)",
+    )
     serve.set_defaults(command="serve")
     return parser
 
@@ -217,7 +252,7 @@ def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     print(f"approach   : {args.approach}")
     print(f"backend    : {report.backend}"
           + (f" ({args.workers or 'auto'} workers)"
-             if report.backend == "sharded" else ""))
+             if report.backend in WORKER_BACKENDS else ""))
     print(f"rows       : {prepared.shuffled.num_rows:,} "
           f"({prepared.shuffled.num_blocks:,} blocks)")
     print(f"latency    : {report.elapsed_seconds * 1e3:.2f} ms simulated "
@@ -467,10 +502,23 @@ def _run_serve(args: argparse.Namespace) -> int:
         dataset_rows[dataset_name] = dataset.table.num_rows
 
     if args.use_async:
-        door = registry.serve_async(policy=args.policy, max_queue=args.max_queue)
+        door = registry.serve_async(
+            policy=args.policy,
+            max_queue=args.max_queue,
+            max_concurrent_steps=args.max_concurrent_steps,
+        )
         outcomes = _drive_async(door, events)
         mode = "async (closed-loop)"
+        if args.max_concurrent_steps > 1:
+            mode += f", {args.max_concurrent_steps} step slots"
     else:
+        if args.max_concurrent_steps > 1:
+            print(
+                "warning: --max-concurrent-steps is ignored in replay mode "
+                "(the open-loop trace is deterministic single-slot); "
+                "use --async for concurrent steps",
+                file=sys.stderr,
+            )
         door = registry.serve(policy=args.policy, max_queue=args.max_queue)
         try:
             outcomes = door.replay(
@@ -512,17 +560,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-
-    if args.workers is not None and args.backend != "sharded":
-        # Ignored-with-warning rather than silently accepted (or fatally
-        # rejected): scripted callers flipping --backend should not crash,
-        # but must be told their parallelism knob did nothing.
-        print(
-            f"warning: --workers {args.workers} is ignored with "
-            f"--backend {args.backend}",
-            file=sys.stderr,
-        )
-        args.workers = None
+    args.backend, args.workers = resolve_backend_args(args)
 
     command = getattr(args, "command", None)
     if command == "batch":

@@ -24,8 +24,10 @@ uniform without-replacement sample.
 
 :class:`ExecutionBackend` is the seam all sampling routes through;
 :class:`SerialBackend` reproduces today's single-process behaviour exactly,
-:class:`ShardedBackend` is the opt-in parallel implementation, and
-:func:`make_backend` resolves a CLI/config spec into an instance.
+:class:`ShardedBackend` is the opt-in multi-process implementation,
+:class:`ThreadPoolBackend` the in-process multi-threaded one (GIL-releasing
+bincount kernels; no fork, no shared memory), and :func:`make_backend`
+resolves a CLI/config spec into an instance.
 """
 
 from .backend import CountSource, ExecutionBackend, SerialBackend, count_pairs
@@ -34,10 +36,12 @@ from .pool import WorkerPool
 from .shard import Shard, ShardPlanner
 from .sharded import ShardedBackend
 from .shm import SegmentRef, SharedMemoryStore, attach_segment
+from .threaded import ThreadPoolBackend
 from .worker import ShardResult, ShardTask, count_shard
 
 __all__ = [
     "BACKENDS",
+    "WORKER_BACKENDS",
     "CountSource",
     "ExecutionBackend",
     "SegmentRef",
@@ -49,6 +53,7 @@ __all__ = [
     "ShardTask",
     "ShardedBackend",
     "SharedMemoryStore",
+    "ThreadPoolBackend",
     "WorkerPool",
     "attach_segment",
     "count_pairs",
@@ -57,18 +62,21 @@ __all__ = [
 ]
 
 #: Backend names accepted by the CLI and :class:`~repro.system.MatchSession`.
-BACKENDS = ("serial", "sharded")
+BACKENDS = ("serial", "sharded", "threads")
+
+#: The backends for which ``workers`` is meaningful (serial takes none).
+WORKER_BACKENDS = ("sharded", "threads")
 
 
 def make_backend(
     spec: str | ExecutionBackend = "serial", workers: int | None = None
 ) -> ExecutionBackend:
-    """Resolve a backend spec (``"serial"``, ``"sharded"``, or an existing
-    instance) into an :class:`ExecutionBackend`.
+    """Resolve a backend spec (``"serial"``, ``"sharded"``, ``"threads"``,
+    or an existing instance) into an :class:`ExecutionBackend`.
 
-    ``workers`` applies to the sharded backend only (default: the machine's
-    CPU count); passing it alongside an existing instance is an error since
-    the instance already fixed its pool size.
+    ``workers`` applies to the worker-carrying backends only (default: the
+    machine's CPU count); passing it alongside an existing instance is an
+    error since the instance already fixed its pool size.
     """
     if isinstance(spec, ExecutionBackend):
         if workers is not None:
@@ -80,4 +88,6 @@ def make_backend(
         return SerialBackend()
     if spec == "sharded":
         return ShardedBackend(workers)
+    if spec == "threads":
+        return ThreadPoolBackend(workers)
     raise ValueError(f"backend must be one of {BACKENDS}, got {spec!r}")

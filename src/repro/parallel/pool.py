@@ -7,12 +7,24 @@ deliberately persistent — process startup (interpreter + NumPy import under
 the ``spawn`` method) costs orders of magnitude more than one window's
 counting, so a :class:`~repro.system.session.MatchSession` pays it once and
 amortizes it over every query it serves.
+
+The pool is also safe under **concurrent** :meth:`WorkerPool.run` calls:
+when a front door executes steps of different tenants concurrently, their
+windows interleave on the shared queues.  Task ids are globally unique
+(allocated by the backend), and the gather side routes every result to the
+``run`` call that owns its id — one caller at a time drains the result
+queue and *deposits* results belonging to other callers, who claim them
+under the shared condition.  A result can therefore never cross-settle
+into another tenant's merge, and a failed call's stragglers are remembered
+and dropped instead of poisoning later calls.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_module
+import threading
+import time
 from typing import Sequence
 
 from .worker import ShardResult, ShardTask, worker_loop
@@ -56,6 +68,15 @@ class WorkerPool:
         self.result_timeout_s = result_timeout_s
         self.tasks_dispatched = 0
         self.closed = False
+        # Concurrent-run gather state (see run()): one caller drains the
+        # result queue at a time; results for other callers are deposited
+        # here keyed by task id, abandoned ids are stragglers of failed
+        # runs that must never be claimed.
+        self._gather = threading.Condition()
+        self._draining = False
+        self._deposited: dict[int, tuple[ShardResult | None, str | None]] = {}
+        self._abandoned: set[int] = set()
+        self._last_result_monotonic = time.monotonic()
         ctx = mp.get_context(self.start_method)
         self._task_queue = ctx.Queue()
         self._result_queue = ctx.Queue()
@@ -86,38 +107,96 @@ class WorkerPool:
         worker death closes the pool: results for the dead worker's tasks
         can never arrive, and surviving workers' late results must not leak
         into a later ``run`` call.
+
+        Safe under concurrent callers (task ids are globally unique across
+        the backend's lifetime): one caller at a time drains the shared
+        result queue, depositing results owned by other in-flight calls for
+        them to claim, so interleaved windows can never cross-settle.
         """
         if self.closed:
             raise RuntimeError("WorkerPool is closed")
         expected = {task.task_id for task in tasks}
         if len(expected) != len(tasks):
             raise ValueError("task ids must be unique within one run")
-        for task in tasks:
-            self._task_queue.put(task)
-        self.tasks_dispatched += len(tasks)
+        with self._gather:
+            for task in tasks:
+                self._task_queue.put(task)
+            self.tasks_dispatched += len(tasks)
         results: dict[int, ShardResult] = {}
         errors: list[str] = []
-        while len(results) + len(errors) < len(tasks):
-            try:
-                task_id, result, error = self._result_queue.get(
-                    timeout=self.result_timeout_s
-                )
-            except queue_module.Empty:
-                if self.alive_workers < self.n_workers:
-                    self.close()
-                    raise RuntimeError(
-                        f"worker died with {len(tasks) - len(results)} shard "
-                        "task(s) outstanding; pool closed"
-                    ) from None
-                continue
-            if task_id not in expected:
-                # A straggler from an earlier failed run; never merge it.
-                continue
+
+        def absorb(task_id: int, result, error) -> None:
             if error is not None:
                 errors.append(f"task {task_id}: {error}")
             else:
                 results[task_id] = result
+
+        try:
+            while len(results) + len(errors) < len(tasks):
+                with self._gather:
+                    # Claim results another caller's drain deposited for us.
+                    for task_id in expected.difference(results):
+                        entry = self._deposited.pop(task_id, None)
+                        if entry is not None:
+                            absorb(task_id, *entry)
+                    if len(results) + len(errors) >= len(tasks):
+                        break
+                    if self.closed:
+                        raise RuntimeError(
+                            "worker pool closed with shard task(s) outstanding"
+                        )
+                    if self._draining:
+                        # Someone else is on the queue; wait for a deposit.
+                        self._gather.wait(timeout=0.1)
+                        continue
+                    self._draining = True
+                # Sole drainer: pull one item off the shared result queue.
+                got = None
+                try:
+                    got = self._result_queue.get(
+                        timeout=min(0.1, self.result_timeout_s)
+                    )
+                except queue_module.Empty:
+                    stale = (
+                        time.monotonic() - self._last_result_monotonic
+                        >= self.result_timeout_s
+                    )
+                    if self.alive_workers < self.n_workers and (
+                        stale or self._result_queue.empty()
+                    ):
+                        self.close()
+                        raise RuntimeError(
+                            f"worker died with {len(tasks) - len(results)} shard "
+                            "task(s) outstanding; pool closed"
+                        ) from None
+                finally:
+                    with self._gather:
+                        self._draining = False
+                        if got is not None:
+                            task_id, result, error = got
+                            self._last_result_monotonic = time.monotonic()
+                            if task_id in expected:
+                                absorb(task_id, result, error)
+                            elif task_id in self._abandoned:
+                                # A straggler from a failed run; never merge.
+                                self._abandoned.discard(task_id)
+                            else:
+                                # A concurrent caller's result: deposit it.
+                                self._deposited[task_id] = (result, error)
+                        self._gather.notify_all()
+        except BaseException:
+            # Whatever this run will never claim must not be mistaken for
+            # a later run's results when the worker eventually reports.
+            with self._gather:
+                self._abandoned.update(expected.difference(results))
+                for task_id in expected:
+                    self._deposited.pop(task_id, None)
+                self._gather.notify_all()
+            raise
         if errors:
+            with self._gather:
+                self._abandoned.update(expected.difference(results))
+                self._gather.notify_all()
             raise RuntimeError("shard task(s) failed: " + "; ".join(errors))
         return [results[task.task_id] for task in tasks]
 

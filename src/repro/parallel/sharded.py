@@ -24,6 +24,7 @@ kernel as the workers, so the short-circuit cannot change results.
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -88,6 +89,10 @@ class ShardedBackend(ExecutionBackend):
         self.store = SharedMemoryStore()
         self.shard_tasks = 0
         self.inline_windows = 0
+        # Serializes dispatch bookkeeping (pool creation, publishing, task-id
+        # allocation) under concurrent steps; the pool.run fan-out itself
+        # runs outside the lock so concurrent windows overlap on the pool.
+        self._dispatch_lock = threading.Lock()
         self._pool: WorkerPool | None = None
         # Tables whose columns were published, pinned by identity: segment
         # cache keys use id(table), so the object must outlive the cache
@@ -106,13 +111,16 @@ class ShardedBackend(ExecutionBackend):
         fresh one here, so the backend recovers for subsequent queries
         instead of failing every later window against a dead pool.
         """
-        if self.closed:
-            raise RuntimeError("ShardedBackend is closed")
-        if self._pool is not None and self._pool.closed:
-            self._pool = None
-        if self._pool is None:
-            self._pool = WorkerPool(self.n_workers, start_method=self.start_method)
-        return self._pool
+        with self._dispatch_lock:
+            if self.closed:
+                raise RuntimeError("ShardedBackend is closed")
+            if self._pool is not None and self._pool.closed:
+                self._pool = None
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self.n_workers, start_method=self.start_method
+                )
+            return self._pool
 
     # ------------------------------------------------------------- publishing
 
@@ -155,7 +163,8 @@ class ShardedBackend(ExecutionBackend):
         if total_rows < max(1, self.n_workers * self.min_shard_rows):
             # Inline fallback: same kernel, same rows, no pool round-trip
             # (and no shard planning — the plan would be discarded).
-            self.inline_windows += 1
+            with self._dispatch_lock:
+                self.inline_windows += 1
             counts = count_shard(
                 source.shuffled.table.column(source.z_name),
                 source.shuffled.table.column(source.x_name),
@@ -167,33 +176,36 @@ class ShardedBackend(ExecutionBackend):
             )
             return counts, cost
         shards = self.planner.plan(blocks, layout)
-        z_ref, x_ref, filter_ref = self._refs(source)
-        # Task ids are globally unique across the backend's lifetime, so a
-        # result from an earlier (failed) window can never be mistaken for
-        # one of this window's shards.
-        base_id = self.shard_tasks
-        gc_epoch, live_segments = self.store.gc_state()
-        tasks = [
-            ShardTask(
-                task_id=base_id + shard.index,
-                blocks=shard.blocks,
-                z_ref=z_ref,
-                x_ref=x_ref,
-                filter_ref=filter_ref,
-                block_size=layout.block_size,
-                num_rows=layout.num_rows,
-                num_candidates=source.num_candidates,
-                num_groups=source.num_groups,
-                gc_epoch=gc_epoch,
-                live_segments=live_segments,
-            )
-            for shard in shards
-        ]
-        # Count dispatched (not completed) tasks, and do so before running:
-        # ids must advance even if the window fails, or a retry could
-        # collide with the failed window's stale results.
-        self.shard_tasks += len(tasks)
-        results = self.pool.run(tasks)
+        pool = self.pool
+        with self._dispatch_lock:
+            z_ref, x_ref, filter_ref = self._refs(source)
+            # Task ids are globally unique across the backend's lifetime
+            # (allocated under the dispatch lock), so neither an earlier
+            # failed window's stragglers nor a concurrently-running window
+            # of another tenant can be mistaken for this window's shards.
+            base_id = self.shard_tasks
+            gc_epoch, live_segments = self.store.gc_state()
+            tasks = [
+                ShardTask(
+                    task_id=base_id + shard.index,
+                    blocks=shard.blocks,
+                    z_ref=z_ref,
+                    x_ref=x_ref,
+                    filter_ref=filter_ref,
+                    block_size=layout.block_size,
+                    num_rows=layout.num_rows,
+                    num_candidates=source.num_candidates,
+                    num_groups=source.num_groups,
+                    gc_epoch=gc_epoch,
+                    live_segments=live_segments,
+                )
+                for shard in shards
+            ]
+            # Count dispatched (not completed) tasks, and do so before
+            # running: ids must advance even if the window fails, or a retry
+            # could collide with the failed window's stale results.
+            self.shard_tasks += len(tasks)
+        results = pool.run(tasks)
         merger = ShardMerger(source.num_candidates, source.num_groups)
         return merger.merge(results), cost
 
@@ -229,34 +241,40 @@ class ShardedBackend(ExecutionBackend):
         shards = self.planner.plan(
             np.arange(layout.num_blocks, dtype=np.int64), layout
         )
-        self._pinned_tables[id(table)] = table
-        z_ref = self.store.publish(("column", id(table), z_name), table.column(z_name))
-        x_ref = self.store.publish(("column", id(table), x_name), table.column(x_name))
-        base_id = self.shard_tasks
-        gc_epoch, live_segments = self.store.gc_state()
-        tasks = [
-            ShardTask(
-                task_id=base_id + shard.index,
-                blocks=shard.blocks,
-                z_ref=z_ref,
-                x_ref=x_ref,
-                filter_ref=None,
-                block_size=layout.block_size,
-                num_rows=num_rows,
-                num_candidates=num_candidates,
-                num_groups=num_groups,
-                filter_values=(
-                    row_filter[layout.rows_of_blocks(shard.blocks)]
-                    if row_filter is not None
-                    else None
-                ),
-                gc_epoch=gc_epoch,
-                live_segments=live_segments,
+        pool = self.pool
+        with self._dispatch_lock:
+            self._pinned_tables[id(table)] = table
+            z_ref = self.store.publish(
+                ("column", id(table), z_name), table.column(z_name)
             )
-            for shard in shards
-        ]
-        self.shard_tasks += len(tasks)
-        results = self.pool.run(tasks)
+            x_ref = self.store.publish(
+                ("column", id(table), x_name), table.column(x_name)
+            )
+            base_id = self.shard_tasks
+            gc_epoch, live_segments = self.store.gc_state()
+            tasks = [
+                ShardTask(
+                    task_id=base_id + shard.index,
+                    blocks=shard.blocks,
+                    z_ref=z_ref,
+                    x_ref=x_ref,
+                    filter_ref=None,
+                    block_size=layout.block_size,
+                    num_rows=num_rows,
+                    num_candidates=num_candidates,
+                    num_groups=num_groups,
+                    filter_values=(
+                        row_filter[layout.rows_of_blocks(shard.blocks)]
+                        if row_filter is not None
+                        else None
+                    ),
+                    gc_epoch=gc_epoch,
+                    live_segments=live_segments,
+                )
+                for shard in shards
+            ]
+            self.shard_tasks += len(tasks)
+        results = pool.run(tasks)
         merger = ShardMerger(num_candidates, num_groups)
         return merger.merge(results)
 
@@ -271,13 +289,14 @@ class ShardedBackend(ExecutionBackend):
         segment; pinned tables are released so their ids can be recycled.
         """
         ids = {id(artifact) for artifact in artifacts if artifact is not None}
-        if not ids or self.closed:
-            return
-        for key in self.store.keys():
-            if isinstance(key, tuple) and len(key) >= 2 and key[1] in ids:
-                self.store.unpublish(key)
-        for identity in ids:
-            self._pinned_tables.pop(identity, None)
+        with self._dispatch_lock:
+            if not ids or self.closed:
+                return
+            for key in self.store.keys():
+                if isinstance(key, tuple) and len(key) >= 2 and key[1] in ids:
+                    self.store.unpublish(key)
+            for identity in ids:
+                self._pinned_tables.pop(identity, None)
 
     def describe(self) -> dict:
         return {
@@ -289,11 +308,12 @@ class ShardedBackend(ExecutionBackend):
 
     def close(self) -> None:
         """Shut the pool down and unlink every shared-memory segment."""
-        if self.closed:
-            return
-        self.closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        with self._dispatch_lock:
+            if self.closed:
+                return
+            self.closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
         self.store.close()
         self._pinned_tables.clear()

@@ -1,0 +1,241 @@
+"""The thread-pool execution backend: GIL-releasing kernels, no fork, no shm.
+
+:class:`ThreadPoolBackend` implements the full
+:class:`~repro.parallel.backend.ExecutionBackend` surface over a
+:class:`concurrent.futures.ThreadPoolExecutor`.  The counting hot path —
+gather the shard's rows, filter, ``np.bincount`` the pair codes
+(:func:`~repro.parallel.worker.count_shard`) — spends its time inside NumPy
+C loops that release the GIL on non-trivial inputs, so threads counting
+different shards genuinely overlap on a multi-core machine.
+
+Compared to the process-based :class:`~repro.parallel.sharded.ShardedBackend`:
+
+- **no fork, no /dev/shm** — workers are threads in the coordinator's own
+  address space, so the backend works on fork-unfriendly platforms
+  (macOS/Windows spawn, embedded interpreters) and needs no shared-memory
+  publication, pinning, or epoch GC;
+- **zero serialization** — shards see the coordinator's columns directly;
+  there is no task pickling and no per-dataset publish step, so the
+  backend has no warm-up cliff;
+- **natural fit for concurrent steps** — when a front door runs steps of
+  different sessions concurrently (``max_concurrent_steps > 1``), each
+  step's windows fan out into one shared executor; thread workers compose
+  with that, where a per-session process pool would multiply.
+
+The trade-off is the GIL itself: the Python glue around each kernel call
+still serializes, so pure-Python-heavy workloads scale worse than the
+process pool.  The arithmetic is the same :func:`count_shard` kernel over
+the same row partition with the same exact integer merge
+(:class:`~repro.parallel.merge.ShardMerger`), so results are byte-identical
+to serial execution.
+
+Every public method is safe to call from multiple threads at once — the
+backend is shared by all sessions of a registry, and concurrent steps hit
+it concurrently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..storage.blocks import BlockLayout
+from .backend import CountSource, ExecutionBackend
+from .merge import ShardMerger
+from .shard import ShardPlanner
+from .sharded import DEFAULT_MIN_SHARD_ROWS, EXACT_PASS_BLOCK_ROWS
+from .worker import ShardResult, count_shard
+
+__all__ = ["ThreadPoolBackend"]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """In-process multi-threaded counting behind the backend seam.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread count (default: the machine's CPU count).  The executor is
+        created lazily on the first window large enough to shard.
+    min_shard_rows:
+        Minimum average rows per shard worth a hop to the executor;
+        windows below ``n_workers * min_shard_rows`` rows are counted
+        inline with the identical kernel.  Set to 0 to force every window
+        through the executor (equivalence tests, ``--tiny`` benchmarks).
+    """
+
+    name = "threads"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+    ) -> None:
+        resolved = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError(f"n_workers must be >= 1, got {resolved}")
+        if min_shard_rows < 0:
+            raise ValueError(f"min_shard_rows must be >= 0, got {min_shard_rows}")
+        self.n_workers = resolved
+        self.min_shard_rows = min_shard_rows
+        self.planner = ShardPlanner(resolved)
+        self.shard_tasks = 0
+        self.inline_windows = 0
+        self.closed = False
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -------------------------------------------------------------- executor
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The shared counting executor, created on first use."""
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("ThreadPoolBackend is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="repro-count",
+                )
+            return self._executor
+
+    # --------------------------------------------------------------- counting
+
+    def _count_sharded(
+        self,
+        z: np.ndarray,
+        x: np.ndarray,
+        blocks: np.ndarray,
+        layout: BlockLayout,
+        num_candidates: int,
+        num_groups: int,
+        row_filter: np.ndarray | None,
+    ) -> np.ndarray:
+        """Plan shards, count each on the executor, merge exactly.
+
+        Threads read the coordinator's arrays directly — no refs, no
+        copies.  Shard ids are allocated under the lock so concurrent
+        callers (steps of different sessions) never collide.
+        """
+        shards = self.planner.plan(blocks, layout)
+        with self._lock:
+            base_id = self.shard_tasks
+            self.shard_tasks += len(shards)
+        executor = self.executor
+        futures = [
+            executor.submit(
+                count_shard,
+                z,
+                x,
+                shard.blocks,
+                layout,
+                num_candidates,
+                num_groups,
+                row_filter,
+            )
+            for shard in shards
+        ]
+        results = []
+        for i, future in enumerate(futures):
+            counts = future.result()
+            results.append(
+                ShardResult(
+                    task_id=base_id + i,
+                    counts=counts,
+                    rows=int(counts.sum()),
+                )
+            )
+        merger = ShardMerger(num_candidates, num_groups)
+        return merger.merge(results)
+
+    def count_blocks(
+        self, source: CountSource, blocks: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        cost = source.io.read_cost(blocks)
+        layout = source.shuffled.layout
+        total_rows = int(layout.rows_per_block(blocks).sum())
+        z = source.shuffled.table.column(source.z_name)
+        x = source.shuffled.table.column(source.x_name)
+        if total_rows < max(1, self.n_workers * self.min_shard_rows):
+            # Inline fallback: same kernel, same rows, no executor hop.
+            with self._lock:
+                self.inline_windows += 1
+            counts = count_shard(
+                z,
+                x,
+                blocks,
+                layout,
+                source.num_candidates,
+                source.num_groups,
+                source.row_filter,
+            )
+            return counts, cost
+        counts = self._count_sharded(
+            z,
+            x,
+            blocks,
+            layout,
+            source.num_candidates,
+            source.num_groups,
+            source.row_filter,
+        )
+        return counts, cost
+
+    # ------------------------------------------------------------ table level
+
+    def count_table(
+        self,
+        table,
+        z_name: str,
+        x_name: str,
+        num_candidates: int,
+        num_groups: int,
+        row_filter: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact whole-table counts, sharded across the executor.
+
+        Rows are partitioned under a synthetic block layout and counted by
+        the same kernel as the sampling path; exact integer sums over the
+        disjoint partition keep the merged matrix byte-identical to the
+        serial pass.
+        """
+        num_rows = table.num_rows
+        if num_rows < max(1, self.n_workers * self.min_shard_rows):
+            return super().count_table(
+                table, z_name, x_name, num_candidates, num_groups, row_filter
+            )
+        layout = BlockLayout(num_rows, EXACT_PASS_BLOCK_ROWS)
+        return self._count_sharded(
+            table.column(z_name),
+            table.column(x_name),
+            np.arange(layout.num_blocks, dtype=np.int64),
+            layout,
+            num_candidates,
+            num_groups,
+            row_filter,
+        )
+
+    # --------------------------------------------------------------- lifecycle
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.n_workers,
+            "min_shard_rows": self.min_shard_rows,
+            "shard_tasks": self.shard_tasks,
+        }
+
+    def close(self) -> None:
+        """Shut the executor down.  Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)

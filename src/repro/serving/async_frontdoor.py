@@ -42,9 +42,10 @@ every policy.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 
 from .admission import AdmissionController
-from .engine import ServingEngine, ServingOutcome
+from .engine import ServingEngine, ServingOutcome, TrackedJob
 from .frontdoor import admit_request
 from .metrics import ServingMetrics
 from .policies import SchedulingPolicy
@@ -102,10 +103,20 @@ class AsyncFrontDoor:
         ``async with`` exit) closes it.
     policy, max_queue, default_deadline_ns, default_max_step_rows:
         As for the thread :class:`~repro.serving.FrontDoor`.
+    max_concurrent_steps:
+        Step-execution slots.  The default 1 keeps the classic
+        single-tasked loop: steps run inline in the scheduler task, fully
+        deterministic on a simulated clock.  Above 1 the scheduler
+        offloads picked steps to a bounded thread-pool executor
+        (``loop.run_in_executor``) and settles each as it completes, so
+        steps of *different* requests overlap on a multi-core machine —
+        the counting kernels release the GIL.  Answers stay byte-identical
+        in either mode; only wall-clock latency changes.
 
-    All methods must be called from one event loop; the door is
-    single-threaded by construction (that is the point), so no locks exist
-    anywhere on the serving path.
+    All methods must be called from one event loop.  In single-slot mode
+    the door is single-threaded by construction; in multi-slot mode all
+    scheduling still happens in the event loop (pick, settle, admission,
+    handles) and only ``job.step()`` runs on executor threads.
     """
 
     def __init__(
@@ -116,8 +127,14 @@ class AsyncFrontDoor:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ) -> None:
+        if max_concurrent_steps < 1:
+            raise ValueError(
+                f"max_concurrent_steps must be >= 1, got {max_concurrent_steps}"
+            )
         self.service = service
+        self.max_concurrent_steps = max_concurrent_steps
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(max_queue)
         self.default_deadline_ns = default_deadline_ns
@@ -198,6 +215,9 @@ class AsyncFrontDoor:
         return outcomes
 
     async def _loop(self) -> None:
+        if self.max_concurrent_steps > 1:
+            await self._loop_concurrent()
+            return
         reason = "async front door shut down mid-flight"
         assert self._wake is not None
         try:
@@ -227,6 +247,80 @@ class AsyncFrontDoor:
             # A failing job must not strand the other requests' handles.
             reason = f"async front door scheduler failed: {exc!r}"
         finally:
+            self._stopping = True
+            self._accepting = False
+            self.engine.cancel_pending(reason)
+            self._dispatch()
+
+    async def _loop_concurrent(self) -> None:
+        """Multi-slot scheduler loop: pick → ``run_in_executor`` → settle.
+
+        All engine calls stay in the event loop; executor threads only run
+        ``job.step()``.  The loop waits on whichever fires first — a step
+        completion or the wake event (submit/shutdown) — so it dispatches
+        new work the moment a slot frees or a request arrives.
+        """
+        reason = "async front door shut down mid-flight"
+        assert self._wake is not None
+        loop = asyncio.get_running_loop()
+        executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_steps,
+            thread_name_prefix="repro-step",
+        )
+        inflight: dict[asyncio.Future, TrackedJob] = {}
+        try:
+            while True:
+                if self._stopping and (
+                    not self._drain_on_stop or (self.engine.idle and not inflight)
+                ):
+                    break
+                while len(inflight) < self.max_concurrent_steps:
+                    entry = self.engine.pick()
+                    if entry is None:
+                        break
+                    future = loop.run_in_executor(executor, entry.job.step)
+                    inflight[future] = entry
+                # pick() finalizes expiries/sheds even when nothing is
+                # dispatchable; resolve those handles promptly.
+                self._dispatch()
+                if not inflight:
+                    # Park until a submit or shutdown wakes the scheduler
+                    # (same no-lost-wakeup argument as the single-slot
+                    # loop: no await between the pick and this clear).
+                    self._wake.clear()
+                    if self._stopping:
+                        continue  # re-check the exit condition, don't park
+                    await self._wake.wait()
+                    continue
+                waker = asyncio.ensure_future(self._wake.wait())
+                done, _ = await asyncio.wait(
+                    {waker, *inflight}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if waker not in done:
+                    waker.cancel()
+                self._wake.clear()
+                for future in done:
+                    if future is waker:
+                        continue
+                    entry = inflight.pop(future)
+                    err = future.exception()
+                    if err is not None:
+                        raise err
+                    self.engine.settle(entry)
+                self._dispatch()
+        except asyncio.CancelledError:
+            reason = "async front door task cancelled"
+            raise
+        except Exception as exc:
+            # A failing step must not strand the other requests' handles.
+            reason = f"async front door scheduler failed: {exc!r}"
+        finally:
+            # Let in-flight steps finish before cancelling what remains —
+            # the service close that follows shutdown must not pull the
+            # backend out from under a running step.
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            executor.shutdown(wait=True)
             self._stopping = True
             self._accepting = False
             self.engine.cancel_pending(reason)

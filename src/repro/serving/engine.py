@@ -1,4 +1,4 @@
-"""The pure scheduling engine: pick-next / advance-job / settle, no threads.
+"""The pure scheduling engine: pick / dispatch / settle, no threads.
 
 This is the reentrant core every serving driver runs on — the thread
 :class:`~repro.serving.frontdoor.FrontDoor`, the asyncio
@@ -7,6 +7,25 @@ This is the reentrant core every serving driver runs on — the thread
 feed it jobs and pump :meth:`ServingEngine.step`.  The engine itself holds
 no locks, spawns no threads, and never blocks: drivers own concurrency,
 the engine owns scheduling semantics, and the two never mix.
+
+Step execution is split into three phases so drivers can run the compute
+off their scheduling loop:
+
+- :meth:`ServingEngine.pick` — expire overdue jobs, shed infeasible ones,
+  let the policy choose among the *dispatchable* entries (runnable and not
+  already mid-step), and mark the choice in-flight;
+- **dispatch** — the driver runs ``entry.job.step()`` wherever it likes:
+  inline (the classic single-slot mode), in a thread-pool executor
+  (concurrent steps of different sessions), or via
+  ``loop.run_in_executor`` from asyncio;
+- :meth:`ServingEngine.settle` — stamp the step's service time on the
+  job's own clock, finalize completion, and re-run expiry.
+
+:meth:`ServingEngine.step` is exactly ``pick → job.step() → settle``, so
+single-slot drivers keep byte-identical behaviour; multi-slot drivers hold
+several entries in flight at once and settle each as it completes.  The
+engine still never blocks and holds no locks — drivers serialize their
+calls into it (only ``job.step()`` itself may run concurrently).
 
 It is also **clock-agnostic**: the engine runs against the
 :class:`~repro.system.clock.Clock` protocol, so the same scheduling code
@@ -133,6 +152,8 @@ class TrackedJob:
         "service_ns",
         "steps",
         "outcome",
+        "in_flight",
+        "step_started_ns",
         "_estimate_cache",
     )
 
@@ -157,6 +178,10 @@ class TrackedJob:
         self.service_ns = 0.0
         self.steps = 0
         self.outcome: ServingOutcome | None = None
+        #: True while a picked step is running (dispatch → settle window).
+        self.in_flight = False
+        #: The job clock's reading when the in-flight step was picked.
+        self.step_started_ns = 0.0
         self._estimate_cache: tuple[int, float, float] | None = None
 
     def estimated_remaining(self) -> float:
@@ -277,10 +302,19 @@ class ServingEngine:
     def _runnable(self) -> list[TrackedJob]:
         return [e for e in self._entries if e.outcome is None]
 
+    def _dispatchable(self) -> list[TrackedJob]:
+        """Runnable entries not currently mid-step (eligible for pick)."""
+        return [e for e in self._entries if e.outcome is None and not e.in_flight]
+
     @property
     def pending(self) -> int:
-        """Jobs submitted but not yet finalized."""
+        """Jobs submitted but not yet finalized (including in-flight steps)."""
         return len(self._runnable())
+
+    @property
+    def in_flight(self) -> int:
+        """Entries whose current step is between pick and settle."""
+        return sum(1 for e in self._entries if e.outcome is None and e.in_flight)
 
     @property
     def idle(self) -> bool:
@@ -327,9 +361,13 @@ class ServingEngine:
 
         Runs before each slice is granted (a job already past its deadline
         must not consume more server time) and again after it (one job's
-        service can push *waiting* jobs past their deadlines).
+        service can push *waiting* jobs past their deadlines).  In-flight
+        entries are skipped: a job mid-step must not be finalized under its
+        running step — its own settle re-runs expiry and catches it.
         """
         for entry in self._runnable():
+            if entry.in_flight:
+                continue
             now = entry.clock.elapsed_ns
             if entry.deadline_ns is None or now < entry.deadline_ns:
                 continue
@@ -356,7 +394,7 @@ class ServingEngine:
         """
         margin = getattr(self.policy, "feasibility_margin", 1.0)
         for entry in self._runnable():
-            if entry.deadline_ns is None or entry.steps > 0:
+            if entry.deadline_ns is None or entry.steps > 0 or entry.in_flight:
                 continue
             remaining = entry.estimated_remaining_ns()
             if remaining == float("inf"):
@@ -373,29 +411,63 @@ class ServingEngine:
 
     # --------------------------------------------------------------- execution
 
-    def step(self) -> bool:
-        """Grant one time slice: expire overdue jobs, shed infeasible ones
-        (feasibility-aware policies only), let the policy pick a runnable
-        job, advance it one bounded step, settle the consequences.
-        Returns False when there was nothing to run."""
+    def pick(self) -> TrackedJob | None:
+        """Pick phase: choose the next entry to step and mark it in-flight.
+
+        Expires overdue jobs, sheds infeasible ones (feasibility-aware
+        policies only), then lets the policy select among the dispatchable
+        entries — runnable jobs not already mid-step, so a multi-slot
+        driver never double-dispatches one job.  Returns ``None`` when
+        nothing is dispatchable (the engine may still have steps in
+        flight).  The caller must run ``entry.job.step()`` — wherever it
+        likes — and then :meth:`settle` the entry exactly once.
+        """
         self._expire_due()
         if getattr(self.policy, "feasibility_aware", False):
             self._shed_infeasible()
-        runnable = self._runnable()
-        if not runnable:
-            return False
-        entry = self.policy.select(runnable, self.clock.elapsed_ns)
-        before = entry.clock.elapsed_ns
-        entry.job.step()
-        entry.service_ns += entry.clock.elapsed_ns - before
-        entry.steps += 1
+        dispatchable = self._dispatchable()
+        if not dispatchable:
+            return None
+        entry = self.policy.select(dispatchable, self.clock.elapsed_ns)
+        entry.in_flight = True
+        entry.step_started_ns = entry.clock.elapsed_ns
         entry.rr_key = self._order
         self._order += 1
+        return entry
+
+    def settle(self, entry: TrackedJob) -> None:
+        """Settle phase: account a completed step and finalize if done.
+
+        Service time is stamped on the entry's *own* clock, from the
+        reading :meth:`pick` took to now — under concurrent steps on one
+        shared clock that attributes neighbours' overlapped charges too,
+        which is the single-server convention (wall-clock deployments, the
+        reason to run concurrently, measure real elapsed time anyway).
+        """
+        if not entry.in_flight:
+            raise RuntimeError(f"entry {entry.name!r} has no step to settle")
+        entry.in_flight = False
+        if entry.outcome is not None:
+            # Finalized while mid-step (cancel_pending on shutdown): the
+            # straggler step's work is discarded, never double-finalized.
+            return
+        entry.service_ns += entry.clock.elapsed_ns - entry.step_started_ns
+        entry.steps += 1
         if entry.job.done:
             # Done beats expired: a job finishing exactly on its deadline
             # (round boundary == deadline) is a hit, not a miss.
             self._finalize(entry, COMPLETED, entry.job.finish(entry.service_ns))
         self._expire_due()
+
+    def step(self) -> bool:
+        """Grant one time slice: :meth:`pick`, advance the chosen job one
+        bounded step inline, :meth:`settle` the consequences.  Returns
+        False when there was nothing to run."""
+        entry = self.pick()
+        if entry is None:
+            return False
+        entry.job.step()
+        self.settle(entry)
         return True
 
     def run_until_idle(self) -> tuple[ServingOutcome, ...]:

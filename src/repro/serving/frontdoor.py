@@ -34,6 +34,8 @@ The front door never changes what a query computes: a request served here
 from __future__ import annotations
 
 import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
 from .admission import AdmissionController
@@ -144,6 +146,13 @@ class FrontDoor:
     default_max_step_rows:
         Time-slice granularity for requests that do not set their own
         (``None`` keeps per-round steps).
+    max_concurrent_steps:
+        Step-execution slots.  The default 1 keeps the classic
+        deterministic single-slot loop (steps run inline in the scheduler
+        thread).  Above 1 the scheduler dispatches picked steps to a
+        bounded executor, so steps of *different* requests run
+        concurrently — answers stay byte-identical (each job consumes its
+        own fixed sampling order), only wall-clock latency changes.
     """
 
     def __init__(
@@ -154,8 +163,14 @@ class FrontDoor:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ) -> None:
+        if max_concurrent_steps < 1:
+            raise ValueError(
+                f"max_concurrent_steps must be >= 1, got {max_concurrent_steps}"
+            )
         self.service = service
+        self.max_concurrent_steps = max_concurrent_steps
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(max_queue)
         self.default_deadline_ns = default_deadline_ns
@@ -238,6 +253,9 @@ class FrontDoor:
             return self._dispatch()
 
     def _loop(self) -> None:
+        if self.max_concurrent_steps > 1:
+            self._loop_concurrent()
+            return
         reason = "front door shut down mid-flight"
         try:
             while True:
@@ -256,6 +274,76 @@ class FrontDoor:
             # the failure is folded into every unresolved outcome below.
             reason = f"front door scheduler failed: {exc!r}"
         finally:
+            with self._wake:
+                self._stopping = True
+                self._accepting = False
+                self.engine.cancel_pending(reason)
+                self._dispatch()
+
+    def _loop_concurrent(self) -> None:
+        """Multi-slot scheduler loop: pick → dispatch to the executor →
+        settle on completion.
+
+        The engine stays single-threaded — every pick/settle/dispatch runs
+        in this scheduler thread under the door lock; only ``job.step()``
+        itself executes on executor threads.  Worker threads report
+        completions into ``completed`` and pulse the condition, so the
+        scheduler wakes for completions and submissions alike.
+        """
+        reason = "front door shut down mid-flight"
+        inflight: set[TrackedJob] = set()
+        completed: deque[tuple[TrackedJob, Exception | None]] = deque()
+        executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_steps,
+            thread_name_prefix="repro-step",
+        )
+
+        def run_step(entry: TrackedJob) -> None:
+            try:
+                entry.job.step()
+                err: Exception | None = None
+            except Exception as exc:  # noqa: BLE001 - folded into outcomes
+                err = exc
+            with self._wake:
+                completed.append((entry, err))
+                self._wake.notify_all()
+
+        try:
+            while True:
+                with self._wake:
+                    while completed:
+                        entry, err = completed.popleft()
+                        inflight.discard(entry)
+                        if err is not None:
+                            raise err
+                        self.engine.settle(entry)
+                    if self._stopping and (
+                        not self._drain_on_stop
+                        or (self.engine.idle and not inflight)
+                    ):
+                        break
+                    dispatched = False
+                    while len(inflight) < self.max_concurrent_steps:
+                        entry = self.engine.pick()
+                        if entry is None:
+                            break
+                        inflight.add(entry)
+                        executor.submit(run_step, entry)
+                        dispatched = True
+                    # pick() finalizes expiries/sheds even when nothing is
+                    # dispatchable; resolve those handles promptly.
+                    self._dispatch()
+                    if not dispatched and not completed:
+                        self._wake.wait(timeout=0.05)
+        except Exception as exc:
+            # A failing step must not strand the other requests' handles:
+            # the failure is folded into every unresolved outcome below.
+            reason = f"front door scheduler failed: {exc!r}"
+        finally:
+            # Let in-flight steps finish before cancelling what remains —
+            # shutdown must not close the backend under a running step.
+            # (Outside the lock: workers need it to report completion.)
+            executor.shutdown(wait=True)
             with self._wake:
                 self._stopping = True
                 self._accepting = False

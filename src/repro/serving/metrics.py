@@ -3,12 +3,15 @@
 The counters update as requests finalize; :meth:`ServingMetrics.snapshot`
 condenses them into a frozen :class:`~repro.system.report.ServingReport`
 (percentile latencies, deadline-hit rate, shed count) for benchmarks and
-the CLI.  Not internally locked — the owning front door serializes updates
-under its own lock, and a torn read of a snapshot taken mid-update is at
-worst one request stale.
+the CLI.  Internally locked: with executor-offloaded steps
+(``max_concurrent_steps > 1``) settles can land from multiple threads, so
+recording and snapshotting serialize on the metrics' own lock rather than
+relying on any driver's.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -28,6 +31,7 @@ class ServingMetrics:
     """Mutable counters + latency samples behind the snapshot API."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.completed = 0
         self.partial = 0
         self.missed = 0
@@ -42,22 +46,24 @@ class ServingMetrics:
 
     def record_outcome(self, outcome) -> None:
         """Fold one finalized :class:`ServingOutcome` into the counters."""
-        if outcome.status == COMPLETED:
-            self.completed += 1
-        elif outcome.status == PARTIAL:
-            self.partial += 1
-        elif outcome.status == MISS:
-            self.missed += 1
-        elif outcome.status == CANCELLED:
-            self.cancelled += 1
-        else:  # pragma: no cover - statuses are closed
+        if outcome.status not in (COMPLETED, PARTIAL, MISS, CANCELLED):
+            # pragma: no cover - statuses are closed
             raise ValueError(f"unknown outcome status {outcome.status!r}")
-        if outcome.deadline_ns is not None:
-            self.deadline_requests += 1
-            if outcome.deadline_hit:
-                self.deadline_hits += 1
-        self._latencies_ns.append(outcome.latency_ns)
-        self._service_ns.append(outcome.service_ns)
+        with self._lock:
+            if outcome.status == COMPLETED:
+                self.completed += 1
+            elif outcome.status == PARTIAL:
+                self.partial += 1
+            elif outcome.status == MISS:
+                self.missed += 1
+            else:
+                self.cancelled += 1
+            if outcome.deadline_ns is not None:
+                self.deadline_requests += 1
+                if outcome.deadline_hit:
+                    self.deadline_hits += 1
+            self._latencies_ns.append(outcome.latency_ns)
+            self._service_ns.append(outcome.service_ns)
 
     def record_shed(self, had_deadline: bool = True) -> None:
         """One request shed at admission (it never ran; no latency sample).
@@ -66,9 +72,10 @@ class ServingMetrics:
         a deadline — shedding must not flatter the rate it exists to
         protect.
         """
-        self.shed += 1
-        if had_deadline:
-            self.deadline_requests += 1
+        with self._lock:
+            self.shed += 1
+            if had_deadline:
+                self.deadline_requests += 1
 
     # ------------------------------------------------------------- snapshot
 
@@ -87,24 +94,25 @@ class ServingMetrics:
 
     def snapshot(self) -> ServingReport:
         """Frozen aggregate view of everything recorded so far."""
-        lat = np.asarray(self._latencies_ns, dtype=np.float64)
-        svc = np.asarray(self._service_ns, dtype=np.float64)
-        p50, p95, p99 = (
-            (np.percentile(lat, (50, 95, 99)) * 1e-6).tolist()
-            if lat.size
-            else (0.0, 0.0, 0.0)
-        )
-        return ServingReport(
-            requests=self.requests,
-            completed=self.completed,
-            partial=self.partial,
-            missed=self.missed,
-            shed=self.shed,
-            cancelled=self.cancelled,
-            deadline_hit_rate=self.deadline_hit_rate,
-            p50_latency_ms=p50,
-            p95_latency_ms=p95,
-            p99_latency_ms=p99,
-            mean_latency_ms=float(lat.mean() * 1e-6) if lat.size else 0.0,
-            mean_service_ms=float(svc.mean() * 1e-6) if svc.size else 0.0,
-        )
+        with self._lock:
+            lat = np.asarray(self._latencies_ns, dtype=np.float64)
+            svc = np.asarray(self._service_ns, dtype=np.float64)
+            p50, p95, p99 = (
+                (np.percentile(lat, (50, 95, 99)) * 1e-6).tolist()
+                if lat.size
+                else (0.0, 0.0, 0.0)
+            )
+            return ServingReport(
+                requests=self.requests,
+                completed=self.completed,
+                partial=self.partial,
+                missed=self.missed,
+                shed=self.shed,
+                cancelled=self.cancelled,
+                deadline_hit_rate=self.deadline_hit_rate,
+                p50_latency_ms=p50,
+                p95_latency_ms=p95,
+                p99_latency_ms=p99,
+                mean_latency_ms=float(lat.mean() * 1e-6) if lat.size else 0.0,
+                mean_service_ms=float(svc.mean() * 1e-6) if svc.size else 0.0,
+            )

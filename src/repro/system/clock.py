@@ -21,6 +21,7 @@ clock, so the answers a query computes are identical under either.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from collections import defaultdict
@@ -107,15 +108,20 @@ class SimulatedClock(Clock):
     def __init__(self) -> None:
         self.elapsed_ns = 0.0
         self.breakdown: dict[str, float] = defaultdict(float)
+        # Concurrent steps (executor-offloaded dispatch) may charge one
+        # shared clock from several threads; charges must not tear.
+        self._lock = threading.Lock()
 
     def charge_serial(self, **costs_ns: float) -> None:
         """Charge components that run one after another."""
-        self.elapsed_ns += self._record_serial(costs_ns)
+        with self._lock:
+            self.elapsed_ns += self._record_serial(costs_ns)
 
     def charge_pipelined(self, io_ns: float, mark_ns: float) -> None:
         """Charge an I/O batch overlapped with lookahead marking: the slower
         of the two determines elapsed time, the rest is hidden."""
-        self.elapsed_ns += self._record_pipelined(io_ns, mark_ns)
+        with self._lock:
+            self.elapsed_ns += self._record_pipelined(io_ns, mark_ns)
 
     def idle_until(self, target_ns: float) -> None:
         """Advance the timeline to ``target_ns`` charging only idleness."""
@@ -125,7 +131,8 @@ class SimulatedClock(Clock):
 
     def snapshot(self) -> dict[str, float]:
         """Copy of the per-component breakdown (ns)."""
-        return dict(self.breakdown)
+        with self._lock:
+            return dict(self.breakdown)
 
 
 class WallClock(Clock):
@@ -143,16 +150,20 @@ class WallClock(Clock):
     def __init__(self) -> None:
         self._origin_ns = time.monotonic_ns()
         self.breakdown: dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
 
     @property
     def elapsed_ns(self) -> float:
         return float(time.monotonic_ns() - self._origin_ns)
 
     def charge_serial(self, **costs_ns: float) -> None:
-        self._record_serial(costs_ns)  # attribution only; time passes itself
+        with self._lock:  # attribution only; time passes itself
+            self._record_serial(costs_ns)
 
     def charge_pipelined(self, io_ns: float, mark_ns: float) -> None:
-        self._record_pipelined(io_ns, mark_ns)
+        with self._lock:
+            self._record_pipelined(io_ns, mark_ns)
 
     def snapshot(self) -> dict[str, float]:
-        return dict(self.breakdown)
+        with self._lock:
+            return dict(self.breakdown)

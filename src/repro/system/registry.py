@@ -52,11 +52,12 @@ class SessionRegistry:
     Parameters
     ----------
     backend:
-        Execution backend spec (``"serial"``/``"sharded"``) or instance,
-        shared by every session.  The registry closes a backend it created;
-        a passed-in instance belongs to its creator.
+        Execution backend spec (``"serial"``/``"sharded"``/``"threads"``)
+        or instance, shared by every session.  The registry closes a
+        backend it created; a passed-in instance belongs to its creator.
     workers:
-        Worker-process count for ``backend="sharded"``.
+        Worker count for ``backend="sharded"`` (processes) or
+        ``backend="threads"`` (threads).
     clock:
         Shared :class:`Clock` for all sessions (default: a fresh
         :class:`SimulatedClock`).
@@ -217,9 +218,12 @@ class SessionRegistry:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ):
         """A thread/replay :class:`~repro.serving.FrontDoor` over every
-        registered dataset; requests route by their ``dataset`` key."""
+        registered dataset; requests route by their ``dataset`` key.
+        ``max_concurrent_steps`` > 1 runs steps of different tenants
+        concurrently on a bounded executor (answers stay byte-identical)."""
         from ..serving.frontdoor import FrontDoor
 
         return FrontDoor(
@@ -228,6 +232,7 @@ class SessionRegistry:
             max_queue=max_queue,
             default_deadline_ns=default_deadline_ns,
             default_max_step_rows=default_max_step_rows,
+            max_concurrent_steps=max_concurrent_steps,
         )
 
     def serve_async(
@@ -237,6 +242,7 @@ class SessionRegistry:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ):
         """An :class:`~repro.serving.AsyncFrontDoor` over every registered
         dataset (asyncio; start it from inside a running event loop)."""
@@ -248,6 +254,7 @@ class SessionRegistry:
             max_queue=max_queue,
             default_deadline_ns=default_deadline_ns,
             default_max_step_rows=default_max_step_rows,
+            max_concurrent_steps=max_concurrent_steps,
         )
 
     # -------------------------------------------------------------- lifecycle

@@ -263,15 +263,17 @@ class MatchSession:
         Verify guarantees against the cached exact ground truth per query.
     backend:
         Execution backend for every query's sampling: ``"serial"`` (default),
-        ``"sharded"``, or an existing
+        ``"sharded"``, ``"threads"``, or an existing
         :class:`~repro.parallel.ExecutionBackend` instance.  The session
         owns a backend it creates from a string spec — the sharded
-        backend's worker pool and shared-memory segments persist across
-        queries and are released by :meth:`close` (or the context-manager
-        exit).  A passed-in instance stays open after :meth:`close` so it
-        can be shared across sessions; its creator closes it.
+        backend's worker pool and shared-memory segments (or the thread
+        backend's executor) persist across queries and are released by
+        :meth:`close` (or the context-manager exit).  A passed-in instance
+        stays open after :meth:`close` so it can be shared across sessions;
+        its creator closes it.
     workers:
-        Worker-process count for ``backend="sharded"`` (default: CPU count).
+        Worker count for ``backend="sharded"`` (processes; default: CPU
+        count) or ``backend="threads"`` (threads).
     clock:
         The :class:`~repro.system.clock.Clock` every job of this session
         charges (default: a fresh :class:`SimulatedClock`).  A
@@ -684,13 +686,16 @@ class MatchSession:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ):
         """An online :class:`~repro.serving.FrontDoor` over this session.
 
         The front door accepts :class:`~repro.serving.QueryRequest`\\ s
         while earlier ones run, sheds load beyond ``max_queue``, and
         settles per-request deadlines; its shutdown closes this session
-        (idempotently).
+        (idempotently).  ``max_concurrent_steps`` > 1 offloads steps to a
+        bounded executor so different requests' steps run concurrently
+        (answers stay byte-identical; latency changes).
         """
         from ..serving.frontdoor import FrontDoor
 
@@ -700,6 +705,7 @@ class MatchSession:
             max_queue=max_queue,
             default_deadline_ns=default_deadline_ns,
             default_max_step_rows=default_max_step_rows,
+            max_concurrent_steps=max_concurrent_steps,
         )
 
     def serve_async(
@@ -709,6 +715,7 @@ class MatchSession:
         max_queue: int | None = None,
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
+        max_concurrent_steps: int = 1,
     ):
         """An :class:`~repro.serving.AsyncFrontDoor` over this session
         (asyncio driver; start it from inside a running event loop)."""
@@ -720,6 +727,7 @@ class MatchSession:
             max_queue=max_queue,
             default_deadline_ns=default_deadline_ns,
             default_max_step_rows=default_max_step_rows,
+            max_concurrent_steps=max_concurrent_steps,
         )
 
     # -------------------------------------------------------------- lifecycle

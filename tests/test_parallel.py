@@ -422,7 +422,7 @@ class TestMakeBackend:
 
     def test_rejects_unknown_and_bad_args(self):
         with pytest.raises(ValueError):
-            make_backend("threads")
+            make_backend("distributed")
         with pytest.raises(ValueError):
             make_backend("serial", workers=2)
 
@@ -581,3 +581,186 @@ class TestAttachmentGC:
             assert free_after >= free_before - 0.5 * evicted_bytes
         finally:
             session.close()
+
+
+# ---------------------------------------------------------------------------
+# ThreadPoolBackend
+# ---------------------------------------------------------------------------
+
+
+def fake_table(n: int, c: int, g: int, seed: int):
+    """Column-access duck: the whole surface count_table touches."""
+    from types import SimpleNamespace
+
+    rng = np.random.default_rng(seed)
+    columns = {
+        "z": rng.integers(0, c, n).astype(np.int64),
+        "x": rng.integers(0, g, n).astype(np.int64),
+    }
+    return SimpleNamespace(num_rows=n, column=columns.__getitem__)
+
+
+class TestThreadPoolBackend:
+    def test_count_table_matches_serial(self):
+        from repro.parallel import ThreadPoolBackend
+
+        table = fake_table(5000, 6, 4, seed=7)
+        keep = np.random.default_rng(8).random(5000) < 0.5
+        serial = SerialBackend().count_table(table, "z", "x", 6, 4, keep)
+        backend = ThreadPoolBackend(3, min_shard_rows=0)
+        try:
+            counts = backend.count_table(table, "z", "x", 6, 4, keep)
+            np.testing.assert_array_equal(counts, serial)
+            assert backend.shard_tasks > 0  # really went through the executor
+        finally:
+            backend.close()
+
+    def test_small_tables_stay_inline(self):
+        from repro.parallel import ThreadPoolBackend
+
+        table = fake_table(256, 4, 3, seed=9)
+        serial = SerialBackend().count_table(table, "z", "x", 4, 3)
+        backend = ThreadPoolBackend(2)  # default min_shard_rows threshold
+        try:
+            counts = backend.count_table(table, "z", "x", 4, 3)
+            np.testing.assert_array_equal(counts, serial)
+            assert backend.shard_tasks == 0
+            assert backend._executor is None  # never even spun up
+        finally:
+            backend.close()
+
+    def test_concurrent_count_calls_are_safe(self):
+        """Steps of different sessions hit one shared backend concurrently;
+        every caller must get its own exact counts."""
+        import threading
+
+        from repro.parallel import ThreadPoolBackend
+
+        tables = [fake_table(4000, 5, 3, seed=20 + i) for i in range(4)]
+        expected = [
+            SerialBackend().count_table(t, "z", "x", 5, 3) for t in tables
+        ]
+        backend = ThreadPoolBackend(2, min_shard_rows=0)
+        results = [None] * len(tables)
+        errors = []
+        barrier = threading.Barrier(len(tables))
+
+        def worker(i):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    results[i] = backend.count_table(tables[i], "z", "x", 5, 3)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(tables))
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        finally:
+            backend.close()
+        assert not errors
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_describe_close_and_validation(self):
+        from repro.parallel import ThreadPoolBackend
+
+        backend = ThreadPoolBackend(2, min_shard_rows=0)
+        desc = backend.describe()
+        assert desc["backend"] == "threads"
+        assert desc["workers"] == 2
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.executor
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(0)
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(2, min_shard_rows=-1)
+
+    def test_make_backend_threads(self):
+        from repro.parallel import ThreadPoolBackend
+
+        backend = make_backend("threads", workers=3)
+        try:
+            assert isinstance(backend, ThreadPoolBackend)
+            assert backend.describe()["workers"] == 3
+        finally:
+            backend.close()
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool under concurrent run() callers
+# ---------------------------------------------------------------------------
+
+
+def make_tagged_tasks(store, tag, base_id, n, c, g, n_shards, seed):
+    """Like make_tasks, but with caller-unique shm keys and task ids."""
+    rng = np.random.default_rng(seed)
+    z = rng.integers(0, c, n).astype(np.uint8)
+    x = rng.integers(0, g, n).astype(np.uint8)
+    layout = BlockLayout(n, 32)
+    z_ref = store.publish(f"{tag}-z", z)
+    x_ref = store.publish(f"{tag}-x", x)
+    blocks = np.arange(layout.num_blocks, dtype=np.int64)
+    shards = ShardPlanner(n_shards).plan(blocks, layout)
+    tasks = [
+        ShardTask(
+            task_id=base_id + s.index,
+            blocks=s.blocks,
+            z_ref=z_ref,
+            x_ref=x_ref,
+            filter_ref=None,
+            block_size=layout.block_size,
+            num_rows=layout.num_rows,
+            num_candidates=c,
+            num_groups=g,
+        )
+        for s in shards
+    ]
+    expected = np.bincount(z.astype(np.int64) * g + x, minlength=c * g).reshape(c, g)
+    return tasks, expected
+
+
+class TestWorkerPoolConcurrentRuns:
+    def test_interleaved_runs_never_cross_settle(self, pool):
+        """Two threads drive overlapping run() windows through one pool;
+        each caller must gather exactly its own shard results (the
+        single-drainer deposit protocol), every time."""
+        import threading
+
+        with SharedMemoryStore() as store:
+            jobs = [
+                make_tagged_tasks(
+                    store, tag=f"c{i}", base_id=1000 * (i + 1),
+                    n=2048 + 256 * i, c=5, g=3, n_shards=2, seed=30 + i,
+                )
+                for i in range(2)
+            ]
+            errors = []
+            barrier = threading.Barrier(len(jobs))
+
+            def caller(i):
+                tasks, expected = jobs[i]
+                try:
+                    barrier.wait(timeout=10)
+                    for _ in range(8):
+                        merged = ShardMerger(5, 3).merge(pool.run(tasks))
+                        np.testing.assert_array_equal(merged, expected)
+                except Exception as exc:
+                    errors.append((i, exc))
+
+            threads = [
+                threading.Thread(target=caller, args=(i,))
+                for i in range(len(jobs))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors

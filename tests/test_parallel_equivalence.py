@@ -20,7 +20,7 @@ import pytest
 from repro.core.config import HistSimConfig
 from repro.data.generator import conditional_column, jittered
 from repro.match import match_histograms
-from repro.parallel import ShardedBackend
+from repro.parallel import ShardedBackend, ThreadPoolBackend
 from repro.query.predicate import IsIn
 from repro.query.spec import HistogramQuery
 from repro.storage.schema import CategoricalAttribute, Schema
@@ -74,7 +74,7 @@ def run_match(table, backend, approach="fastmatch", predicate=None, epsilon=0.15
     )
 
 
-def assert_reports_identical(serial, sharded):
+def assert_reports_identical(serial, sharded, backend_name="sharded"):
     a, b = serial.result, sharded.result
     assert a.matching == b.matching
     np.testing.assert_array_equal(a.histograms, b.histograms)
@@ -88,7 +88,7 @@ def assert_reports_identical(serial, sharded):
     assert serial.counters == sharded.counters
     assert serial.elapsed_ns == sharded.elapsed_ns
     assert serial.backend == "serial"
-    assert sharded.backend == "sharded"
+    assert sharded.backend == backend_name
 
 
 @pytest.mark.parametrize("approach", ["scanmatch", "syncmatch", "fastmatch"])
@@ -137,6 +137,25 @@ def test_predicate_row_filter_identity(table):
     with ShardedBackend(2, min_shard_rows=0) as backend:
         sharded = run_match(table, backend, predicate=predicate)
     assert_reports_identical(serial, sharded)
+
+
+@pytest.mark.parametrize("approach", ["scanmatch", "syncmatch", "fastmatch"])
+def test_threadpool_backend_identity(table, approach):
+    """The in-process thread backend: same kernel, same partition, same
+    merge — byte-identical to serial across every approach."""
+    serial = run_match(table, "serial", approach=approach)
+    with ThreadPoolBackend(2, min_shard_rows=0) as backend:
+        threaded = run_match(table, backend, approach=approach)
+        assert backend.shard_tasks > 0
+    assert_reports_identical(serial, threaded, backend_name="threads")
+
+
+def test_threadpool_predicate_identity(table):
+    predicate = IsIn("x", (0, 1, 2, 3))
+    serial = run_match(table, "serial", predicate=predicate)
+    with ThreadPoolBackend(2, min_shard_rows=0) as backend:
+        threaded = run_match(table, backend, predicate=predicate)
+    assert_reports_identical(serial, threaded, backend_name="threads")
 
 
 # ---------------------------------------------------------------------------

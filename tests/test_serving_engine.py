@@ -272,3 +272,92 @@ class TestFeasibilityShedding:
         # Never shed up front: it ran until the deadline really expired.
         assert outcomes[0].steps == 3
         assert outcomes[0].status == "partial"
+
+
+class TestPickDispatchSettle:
+    """The three-phase split: pick marks in-flight, settle accounts, and
+    ``step()`` is exactly pick → job.step() → settle."""
+
+    def test_pick_marks_in_flight_and_skips_it(self):
+        clock = SimulatedClock()
+        engine = ServingEngine(clock, policy="fifo")
+        a = engine.submit(FakeJob("a", work=2, clock=clock))
+        b = engine.submit(FakeJob("b", work=1, clock=clock))
+        first = engine.pick()
+        assert first is a and a.in_flight
+        assert engine.in_flight == 1
+        # FIFO must move on to b: a is mid-step, not dispatchable.
+        second = engine.pick()
+        assert second is b
+        assert engine.pick() is None  # every runnable entry is in flight
+        assert engine.pending == 2    # ... but none of them is finalized
+        first.job.step()
+        engine.settle(first)
+        assert not first.in_flight and first.outcome is None  # 1 of 2 steps
+        second.job.step()
+        engine.settle(second)
+        assert second.outcome.status == "completed"
+        assert second.steps == 1
+
+    def test_step_is_pick_step_settle(self):
+        def drain(three_phase):
+            clock = SimulatedClock()
+            log = []
+            engine = ServingEngine(clock, policy="rr")
+            engine.submit(FakeJob("a", work=3, clock=clock, log=log))
+            engine.submit(FakeJob("b", work=2, clock=clock, log=log))
+            if three_phase:
+                while True:
+                    entry = engine.pick()
+                    if entry is None:
+                        break
+                    entry.job.step()
+                    engine.settle(entry)
+            else:
+                while engine.step():
+                    pass
+            outcomes = {
+                e.name: (e.outcome.status, e.outcome.steps, e.outcome.service_ns)
+                for e in engine.take_finished()
+            }
+            return log, outcomes
+
+        assert drain(three_phase=True) == drain(three_phase=False)
+
+    def test_settle_requires_a_picked_step(self):
+        clock = SimulatedClock()
+        engine = ServingEngine(clock, policy="fifo")
+        entry = engine.submit(FakeJob("a", work=1, clock=clock))
+        with pytest.raises(RuntimeError, match="no step to settle"):
+            engine.settle(entry)
+
+    def test_expiry_skips_in_flight_entries_until_their_settle(self):
+        clock = SimulatedClock()
+        engine = ServingEngine(clock, policy="fifo")
+        entry = engine.submit(
+            FakeJob("a", work=2, clock=clock), deadline_ns=5.0
+        )
+        picked = engine.pick()
+        assert picked is entry
+        picked.job.step()  # clock is now past the 5ns deadline
+        # Expiry scans (via another pick) must not finalize a mid-step job
+        # under its running step.
+        assert engine.pick() is None
+        assert entry.outcome is None
+        engine.settle(picked)  # settle re-runs expiry and catches it
+        assert entry.outcome is not None
+        assert entry.outcome.status == "partial"
+        assert entry.steps == 1
+
+    def test_cancel_mid_step_discards_the_straggler_settle(self):
+        clock = SimulatedClock()
+        engine = ServingEngine(clock, policy="fifo")
+        entry = engine.submit(FakeJob("a", work=2, clock=clock))
+        picked = engine.pick()
+        assert engine.cancel_pending("shutdown") == 1
+        assert entry.outcome.status == "cancelled"
+        picked.job.step()
+        engine.settle(picked)  # the step's work is discarded, not re-finalized
+        assert entry.outcome.status == "cancelled"
+        assert entry.outcome.steps == 0
+        assert len(engine.take_finished()) == 1
