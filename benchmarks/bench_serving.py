@@ -55,10 +55,13 @@ import time
 
 import numpy as np
 
+from pathlib import Path
+
 from common import RESULTS_DIR, format_table, save_report
 from repro.cli import resolve_backend_args
 from repro.data import load_dataset, workload_query
 from repro.core.config import HistSimConfig
+from repro.obs import TraceReader, TraceWriter, Tracer, summarize_records
 from repro.parallel import BACKENDS
 from repro.serving import POLICIES, QueryRequest
 from repro.system import MatchSession, SessionRegistry, run_approach
@@ -160,7 +163,11 @@ def build_trace(
 
 
 def run_policy(table, policy: str, trace, args) -> dict:
-    session = MatchSession(table)
+    # Each policy replays under a metrics-sink tracer so the snapshot's
+    # per-stage time budget (queue/step/settle/stage1-3 p50/p99) lands in
+    # the benchmark JSON.  Tracing never changes answers or the simulated
+    # timeline; the identity checks run untraced and guard exactly that.
+    session = MatchSession(table, tracer=Tracer())
     door = session.serve(policy=policy, max_queue=args.max_queue)
     try:
         outcomes = door.replay(trace)
@@ -179,6 +186,40 @@ def run_policy(table, policy: str, trace, args) -> dict:
             float(np.mean(achieved)) if achieved else None
         ),
     }
+
+
+def run_traced_export(table, trace, args, path: Path) -> dict:
+    """Replay the single-tenant trace with JSONL export; validate the trace.
+
+    This is the acceptance path for the trace file format: every line must
+    round-trip through :class:`TraceReader` (schema validation on read),
+    and the reconstructed per-stage budget's queue+step sums must tile each
+    request's end-to-end latency within one clock tick.
+    """
+    tracer = Tracer()
+    writer = TraceWriter(path)
+    tracer.subscribe(writer)
+    session = MatchSession(table, tracer=tracer)
+    door = session.serve(policy="edf", max_queue=args.max_queue)
+    try:
+        outcomes = door.replay(trace)
+    finally:
+        door.shutdown()
+        writer.close()
+    summary = summarize_records(TraceReader(path).records())
+    engine_served = sum(1 for o in outcomes if o.status != "shed")
+    assert summary.requests == engine_served, (
+        f"trace finalized {summary.requests} requests, engine served "
+        f"{engine_served}"
+    )
+    tick = session.clock.resolution_ns
+    assert summary.max_drift_ns <= tick, (
+        f"queue+step spans drift {summary.max_drift_ns} ns from end-to-end "
+        f"latency (> one {tick} ns clock tick)"
+    )
+    print(f"trace export: {writer.written} records -> {path} "
+          f"(max tiling drift {summary.max_drift_ns:.0f} ns)")
+    return {"path": str(path), "records": writer.written, **summary.to_dict()}
 
 
 def run_multitenant_policy(tables: dict, policy: str, trace, args) -> dict:
@@ -382,6 +423,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-concurrent-steps", type=int, default=4,
                         help="step-execution slots of the concurrent mode "
                              "in the wall-clock section")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="also replay the single-tenant trace with JSONL "
+                             "span export to this path, validating the "
+                             "schema and the queue+step tiling invariant")
     args = parser.parse_args(argv)
     args.backend, args.workers = resolve_backend_args(args)
     if args.max_concurrent_steps < 1:
@@ -422,6 +467,10 @@ def main(argv: list[str] | None = None) -> int:
 
     concurrent = run_concurrent_steps(tables, args)
 
+    trace_export = None
+    if args.trace_out is not None:
+        trace_export = run_traced_export(table, trace, args, args.trace_out)
+
     results = {
         "rows": table.num_rows,
         "requests": args.requests,
@@ -432,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         "max_concurrent_steps": args.max_concurrent_steps,
         "mean_service_ms": mu_ns * 1e-6,
         "concurrent_steps": concurrent,
+        "trace": trace_export,
         "policies": [run_policy(table, policy, trace, args) for policy in POLICIES],
         "multi_tenant": {
             "datasets": list(TENANTS),
@@ -481,6 +531,25 @@ def main(argv: list[str] | None = None) -> int:
             f"(mean service {mt_mu_ns * 1e-6:.2f} ms, max_queue={args.max_queue})",
             columns,
             policy_rows(results["multi_tenant"]["policies"]),
+        )
+        + "\n"
+        + format_table(
+            f"Per-stage time budget — span-fed sketches, by policy "
+            f"(single-tenant trace)",
+            ["policy", "stage", "count", "total ms", "p50 ms", "p99 ms", "rows"],
+            [
+                [
+                    r["policy"],
+                    stage,
+                    budget["count"],
+                    f"{budget['total_ms']:.2f}",
+                    f"{budget['p50_ms']:.4f}",
+                    f"{budget['p99_ms']:.4f}",
+                    budget["rows"],
+                ]
+                for r in results["policies"]
+                for stage, budget in r["per_stage"].items()
+            ],
         )
         + "\n"
         + format_table(

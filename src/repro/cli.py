@@ -55,6 +55,7 @@ from pathlib import Path
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
 from .data.registry import dataset_builders
+from .obs import TraceReader, TraceSchemaError, TraceWriter, Tracer, summarize_records
 from .parallel import BACKENDS, WORKER_BACKENDS, make_backend
 from .serving import POLICIES, QueryRequest
 from .system import APPROACHES, MatchSession, SessionRegistry, run_approach
@@ -217,7 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
              "(answers stay byte-identical; replay mode is deterministic "
              "single-slot and ignores this)",
     )
+    serve.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="export every span/event of the run as schema-versioned JSONL "
+             "to this path (enables tracing; inspect with "
+             "'repro trace summarize FILE')",
+    )
     serve.set_defaults(command="serve")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect an exported JSONL trace",
+        description="Read a trace written by 'serve --trace-out' and print "
+                    "the per-stage time budget: where every request's "
+                    "latency went (queue wait, engine steps, HistSim "
+                    "stages, shard fan-out), with p50/p99 per stage.",
+    )
+    trace.add_argument("action", choices=["summarize"],
+                       help="what to do with the trace (summarize: "
+                            "per-stage time-budget table)")
+    trace.add_argument("file", type=Path, help="JSONL trace file")
+    trace.set_defaults(command="trace")
     return parser
 
 
@@ -487,11 +508,22 @@ def _run_serve(args: argparse.Namespace) -> int:
     if not events:
         raise SystemExit("nothing to serve: no queries matched")
 
+    # --trace-out turns tracing on: one tracer collects spans from every
+    # layer (engine, stepper, backend) and streams them to the JSONL file.
+    tracer = None
+    writer = None
+    if args.trace_out is not None:
+        tracer = Tracer()
+        writer = TraceWriter(args.trace_out)
+        tracer.subscribe(writer)
+
     # One registry serves every dataset in play behind a single front door:
     # one shared clock, one backend (worker pool), requests routed by key.
     # --datasets tenants are pre-loaded even when --queries/--trace name
     # only a subset (the flag promises the tenants exist behind the door).
-    registry = SessionRegistry(backend=args.backend, workers=args.workers)
+    registry = SessionRegistry(
+        backend=args.backend, workers=args.workers, tracer=tracer
+    )
     dataset_rows: dict[str, int] = {}
     tenants = dict.fromkeys(
         _dataset_list(args) + [name for _, name, _ in events]
@@ -501,32 +533,36 @@ def _run_serve(args: argparse.Namespace) -> int:
         registry.add_dataset(dataset_name, dataset.table)
         dataset_rows[dataset_name] = dataset.table.num_rows
 
-    if args.use_async:
-        door = registry.serve_async(
-            policy=args.policy,
-            max_queue=args.max_queue,
-            max_concurrent_steps=args.max_concurrent_steps,
-        )
-        outcomes = _drive_async(door, events)
-        mode = "async (closed-loop)"
-        if args.max_concurrent_steps > 1:
-            mode += f", {args.max_concurrent_steps} step slots"
-    else:
-        if args.max_concurrent_steps > 1:
-            print(
-                "warning: --max-concurrent-steps is ignored in replay mode "
-                "(the open-loop trace is deterministic single-slot); "
-                "use --async for concurrent steps",
-                file=sys.stderr,
+    try:
+        if args.use_async:
+            door = registry.serve_async(
+                policy=args.policy,
+                max_queue=args.max_queue,
+                max_concurrent_steps=args.max_concurrent_steps,
             )
-        door = registry.serve(policy=args.policy, max_queue=args.max_queue)
-        try:
-            outcomes = door.replay(
-                [(arrival_ns, request) for arrival_ns, _, request in events]
-            )
-        finally:
-            door.shutdown()
-        mode = "replay (open-loop)"
+            outcomes = _drive_async(door, events)
+            mode = "async (closed-loop)"
+            if args.max_concurrent_steps > 1:
+                mode += f", {args.max_concurrent_steps} step slots"
+        else:
+            if args.max_concurrent_steps > 1:
+                print(
+                    "warning: --max-concurrent-steps is ignored in replay mode "
+                    "(the open-loop trace is deterministic single-slot); "
+                    "use --async for concurrent steps",
+                    file=sys.stderr,
+                )
+            door = registry.serve(policy=args.policy, max_queue=args.max_queue)
+            try:
+                outcomes = door.replay(
+                    [(arrival_ns, request) for arrival_ns, _, request in events]
+                )
+            finally:
+                door.shutdown()
+            mode = "replay (open-loop)"
+    finally:
+        if writer is not None:
+            writer.close()
 
     print(f"tenants    : {', '.join(f'{name} ({rows:,} rows)' for name, rows in dataset_rows.items())}")
     print(f"mode       : {mode}, policy={args.policy}, "
@@ -554,6 +590,29 @@ def _run_serve(args: argparse.Namespace) -> int:
         session = registry.session(dataset_name)
         print(f"  cache      : [{dataset_name}] {session.cache_stats.summary()} "
               f"({session.cache_hits} hits)")
+    if writer is not None:
+        print(f"  trace      : {writer.written} records -> {args.trace_out} "
+              "(inspect: repro trace summarize)")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace summarize FILE`` — the per-stage time-budget table."""
+    if not args.file.exists():
+        print(f"trace file not found: {args.file}", file=sys.stderr)
+        return 1
+    try:
+        records = TraceReader(args.file).records()
+    except TraceSchemaError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_records(records)
+    print(f"trace      : {args.file}  ({summary.spans} spans, "
+          f"{summary.events} events, {summary.requests} requests)")
+    print(summary.format_table())
+    if summary.requests:
+        print(f"end-to-end : {summary.total_latency_ns / 1e6:.2f} ms total latency, "
+              f"max queue+step tiling drift {summary.max_drift_ns:.0f} ns")
     return 0
 
 
@@ -565,6 +624,8 @@ def main(argv: list[str] | None = None) -> int:
     command = getattr(args, "command", None)
     if command == "batch":
         return _run_batch(args)
+    if command == "trace":
+        return _run_trace(args)
     if command == "serve":
         if args.trace is None and not args.queries and not args.datasets:
             parser.error("serve requires --queries, --datasets, or --trace")

@@ -545,6 +545,10 @@ class HistSimStepper:
         self.max_step_rows = max_step_rows
         self.stage: StepperStage = Stage1()
         self.steps_taken = 0
+        #: The most recent :meth:`step`'s report — the observability seam
+        #: drivers read after each slice (stage, round, fresh rows) without
+        #: threading the return value through their dispatch plumbing.
+        self.last_report: StepReport | None = None
         self._pruned_mask: np.ndarray | None = None
         self._before_stage1 = int(algorithm.state.samples.sum())
         self._after_stage1 = 0
@@ -580,10 +584,13 @@ class HistSimStepper:
             raise RuntimeError("HistSimStepper is already done")
         self.steps_taken += 1
         if isinstance(self.stage, Stage1):
-            return self._step_stage1()
-        if isinstance(self.stage, Stage2Round):
-            return self._step_stage2(self.stage)
-        return self._step_stage3(self.stage)
+            report = self._step_stage1()
+        elif isinstance(self.stage, Stage2Round):
+            report = self._step_stage2(self.stage)
+        else:
+            report = self._step_stage3(self.stage)
+        self.last_report = report
+        return report
 
     def run_to_completion(self) -> MatchResult:
         """Drive :meth:`step` until :class:`Done`; returns the result."""

@@ -1,0 +1,45 @@
+"""Observability: clock-aware tracing, bounded sketches, exportable traces.
+
+The serving spine (front doors → engine → stepper → backends) emits
+nested spans through a :class:`Tracer` stamped on the *job's own*
+:class:`~repro.system.clock.Clock` — correct under both simulated replay
+and wall-clock serving.  The default tracer is :data:`NULL_TRACER`, a
+shared no-op whose ``span()`` returns one preallocated context manager,
+so the untraced path stays byte-identical and allocation-free.
+
+Layout:
+
+- :mod:`~repro.obs.tracer` — spans, events, the tracer and its no-op twin.
+- :mod:`~repro.obs.sketch` — bounded streaming quantiles (exact below a
+  threshold, seeded reservoir above) backing per-stage metrics.
+- :mod:`~repro.obs.trace_io` — schema-versioned JSONL trace files:
+  :class:`TraceWriter` (a tracer sink), :class:`TraceReader`, validation,
+  and the per-stage time-budget summary behind ``repro trace summarize``.
+"""
+
+from .sketch import QuantileSketch
+from .tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from .trace_io import (
+    SCHEMA_VERSION,
+    TraceReader,
+    TraceSchemaError,
+    TraceSummary,
+    TraceWriter,
+    summarize_records,
+    validate_record,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "QuantileSketch",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "TraceReader",
+    "TraceSchemaError",
+    "TraceSummary",
+    "TraceWriter",
+    "Tracer",
+    "summarize_records",
+    "validate_record",
+]

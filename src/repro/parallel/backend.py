@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER
 from ..storage.io_manager import IOManager
 from ..storage.shuffle import ShuffledTable
 
@@ -73,6 +74,17 @@ class ExecutionBackend(ABC):
     """Strategy object deciding *how* sampling work is executed."""
 
     name: str = "abstract"
+
+    #: Observability hook: fan-out windows, pool waits, and shared-memory
+    #: lifecycle report here.  The class-level default is the shared no-op,
+    #: so backends constructed anywhere stay untraced until a session or
+    #: registry calls :meth:`set_tracer`.  Tracing never touches counting:
+    #: spans are emitted around the work, not inside the kernels.
+    tracer = NULL_TRACER
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.Tracer` (or ``None`` to detach)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ---------------------------------------------------------- algorithm level
 

@@ -27,6 +27,7 @@ import threading
 import time
 from typing import Sequence
 
+from ..obs.tracer import NULL_TRACER
 from .worker import ShardResult, ShardTask, worker_loop
 
 __all__ = ["WorkerPool", "default_start_method"]
@@ -52,6 +53,11 @@ class WorkerPool:
         How long one result may take before the pool checks worker liveness
         (a dead worker otherwise means waiting forever).
     """
+
+    #: Observability hook (set by the owning backend's ``set_tracer``):
+    #: each :meth:`run` emits a ``pool.run`` span with its deposit-wait
+    #: time when the tracer is enabled.  Never touches gather correctness.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -115,6 +121,9 @@ class WorkerPool:
         """
         if self.closed:
             raise RuntimeError("WorkerPool is closed")
+        traced = self.tracer.enabled
+        wall0 = float(time.monotonic_ns()) if traced else 0.0
+        deposit_wait_ns = 0.0
         expected = {task.task_id for task in tasks}
         if len(expected) != len(tasks):
             raise ValueError("task ids must be unique within one run")
@@ -147,7 +156,12 @@ class WorkerPool:
                         )
                     if self._draining:
                         # Someone else is on the queue; wait for a deposit.
-                        self._gather.wait(timeout=0.1)
+                        if traced:
+                            wait0 = time.monotonic_ns()
+                            self._gather.wait(timeout=0.1)
+                            deposit_wait_ns += time.monotonic_ns() - wait0
+                        else:
+                            self._gather.wait(timeout=0.1)
                         continue
                     self._draining = True
                 # Sole drainer: pull one item off the shared result queue.
@@ -198,6 +212,16 @@ class WorkerPool:
                 self._abandoned.update(expected.difference(results))
                 self._gather.notify_all()
             raise RuntimeError("shard task(s) failed: " + "; ".join(errors))
+        if traced:
+            self.tracer.span_at(
+                "pool.run",
+                wall0,
+                float(time.monotonic_ns()),
+                clock="monotonic",
+                tasks=len(tasks),
+                workers=self.n_workers,
+                deposit_wait_ns=float(deposit_wait_ns),
+            )
         return [results[task.task_id] for task in tasks]
 
     def close(self) -> None:

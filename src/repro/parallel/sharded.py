@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import numpy as np
 
@@ -120,7 +121,22 @@ class ShardedBackend(ExecutionBackend):
                 self._pool = WorkerPool(
                     self.n_workers, start_method=self.start_method
                 )
+                self._pool.tracer = self.tracer
             return self._pool
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to the backend, its pool, and its shm store.
+
+        The store reports publish/unpublish/close through the tracer's
+        event callback; an already-running pool picks the tracer up too.
+        """
+        super().set_tracer(tracer)
+        with self._dispatch_lock:
+            if self._pool is not None:
+                self._pool.tracer = self.tracer
+            self.store.on_event = (
+                self.tracer.callback() if self.tracer.enabled else None
+            )
 
     # ------------------------------------------------------------- publishing
 
@@ -165,6 +181,10 @@ class ShardedBackend(ExecutionBackend):
             # (and no shard planning — the plan would be discarded).
             with self._dispatch_lock:
                 self.inline_windows += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "backend.inline", backend=self.name, rows=total_rows
+                )
             counts = count_shard(
                 source.shuffled.table.column(source.z_name),
                 source.shuffled.table.column(source.x_name),
@@ -205,7 +225,23 @@ class ShardedBackend(ExecutionBackend):
             # running: ids must advance even if the window fails, or a retry
             # could collide with the failed window's stale results.
             self.shard_tasks += len(tasks)
-        results = pool.run(tasks)
+        if self.tracer.enabled:
+            wall0 = float(time.monotonic_ns())
+            results = pool.run(tasks)
+            shard_ns = [r.elapsed_ns for r in results]
+            self.tracer.span_at(
+                "backend.window",
+                wall0,
+                float(time.monotonic_ns()),
+                clock="monotonic",
+                backend=self.name,
+                shards=len(tasks),
+                rows=total_rows,
+                shard_ns_max=max(shard_ns, default=0.0),
+                shard_ns_mean=(sum(shard_ns) / len(shard_ns)) if shard_ns else 0.0,
+            )
+        else:
+            results = pool.run(tasks)
         merger = ShardMerger(source.num_candidates, source.num_groups)
         return merger.merge(results), cost
 
@@ -274,7 +310,23 @@ class ShardedBackend(ExecutionBackend):
                 for shard in shards
             ]
             self.shard_tasks += len(tasks)
-        results = pool.run(tasks)
+        if self.tracer.enabled:
+            wall0 = float(time.monotonic_ns())
+            results = pool.run(tasks)
+            shard_ns = [r.elapsed_ns for r in results]
+            self.tracer.span_at(
+                "backend.table",
+                wall0,
+                float(time.monotonic_ns()),
+                clock="monotonic",
+                backend=self.name,
+                shards=len(tasks),
+                rows=num_rows,
+                shard_ns_max=max(shard_ns, default=0.0),
+                shard_ns_mean=(sum(shard_ns) / len(shard_ns)) if shard_ns else 0.0,
+            )
+        else:
+            results = pool.run(tasks)
         merger = ShardMerger(num_candidates, num_groups)
         return merger.merge(results)
 

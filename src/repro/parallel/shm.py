@@ -83,6 +83,14 @@ class SharedMemoryStore:
         #: segments absent from :meth:`gc_state` once they see a newer epoch.
         self.epoch = 0
         self.closed = False
+        #: Observability hook: ``(name, **attrs) -> None`` (a
+        #: :meth:`Tracer.callback` adapter, wired by the sharded backend's
+        #: ``set_tracer``).  ``None`` means segment lifecycle is untraced.
+        self.on_event = None
+
+    def _notify(self, name: str, **attrs) -> None:
+        if self.on_event is not None:
+            self.on_event(name, **attrs)
 
     @property
     def num_segments(self) -> int:
@@ -113,12 +121,13 @@ class SharedMemoryStore:
         if entry is None:
             return
         self.epoch += 1
-        shm, _, _ = entry
+        shm, ref, _ = entry
         shm.close()
         try:
             shm.unlink()
         except FileNotFoundError:
             pass
+        self._notify("shm.unpublish", segment=ref.name, epoch=self.epoch)
 
     def gc_state(self) -> tuple[int, tuple[str, ...]]:
         """The attachment-GC watermark shipped with every worker task:
@@ -157,6 +166,7 @@ class SharedMemoryStore:
         shm.close()
         ref = SegmentRef(name=name, dtype=source.dtype.str, shape=tuple(source.shape))
         self._segments[key] = (shm, ref, array)
+        self._notify("shm.publish", segment=name, nbytes=int(source.nbytes))
         return ref
 
     def ref(self, key: Hashable) -> SegmentRef:
@@ -169,6 +179,7 @@ class SharedMemoryStore:
         if self.closed:
             return
         self.closed = True
+        released = len(self._segments)
         for shm, _, _ in self._segments.values():
             shm.close()
             try:
@@ -176,6 +187,7 @@ class SharedMemoryStore:
             except FileNotFoundError:
                 pass
         self._segments.clear()
+        self._notify("shm.close", segments=released)
 
     def __enter__(self) -> "SharedMemoryStore":
         return self

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -115,6 +116,7 @@ class ThreadPoolBackend(ExecutionBackend):
         num_candidates: int,
         num_groups: int,
         row_filter: np.ndarray | None,
+        span_name: str = "backend.window",
     ) -> np.ndarray:
         """Plan shards, count each on the executor, merge exactly.
 
@@ -122,6 +124,8 @@ class ThreadPoolBackend(ExecutionBackend):
         copies.  Shard ids are allocated under the lock so concurrent
         callers (steps of different sessions) never collide.
         """
+        traced = self.tracer.enabled
+        wall0 = float(time.monotonic_ns()) if traced else 0.0
         shards = self.planner.plan(blocks, layout)
         with self._lock:
             base_id = self.shard_tasks
@@ -151,7 +155,18 @@ class ThreadPoolBackend(ExecutionBackend):
                 )
             )
         merger = ShardMerger(num_candidates, num_groups)
-        return merger.merge(results)
+        merged = merger.merge(results)
+        if traced:
+            self.tracer.span_at(
+                span_name,
+                wall0,
+                float(time.monotonic_ns()),
+                clock="monotonic",
+                backend=self.name,
+                shards=len(shards),
+                rows=sum(result.rows for result in results),
+            )
+        return merged
 
     def count_blocks(
         self, source: CountSource, blocks: np.ndarray
@@ -218,6 +233,7 @@ class ThreadPoolBackend(ExecutionBackend):
             num_candidates,
             num_groups,
             row_filter,
+            span_name="backend.table",
         )
 
     # --------------------------------------------------------------- lifecycle

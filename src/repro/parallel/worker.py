@@ -9,6 +9,7 @@ byte-identity guarantee rests on.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,6 +62,11 @@ class ShardResult:
     counts: np.ndarray
     rows: int
     cached_attachments: int = 0
+    #: Worker-side execution time of this shard (``perf_counter_ns`` delta,
+    #: attach + gather + count; queue time excluded).  Observability only —
+    #: merging ignores it; the sharded backend folds it into its
+    #: ``backend.window`` span attributes.
+    elapsed_ns: float = 0.0
 
 
 def count_shard(
@@ -125,6 +131,7 @@ def _gc_attachments(task: ShardTask, attachments: dict, state: dict) -> None:
 
 def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> ShardResult:
     """Execute one task against cached shared-memory attachments."""
+    started = time.perf_counter_ns()
 
     def view(ref: SegmentRef) -> np.ndarray:
         if ref.name not in attachments:
@@ -148,6 +155,7 @@ def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> Shard
         counts=counts,
         rows=int(counts.sum()),
         cached_attachments=len(attachments),
+        elapsed_ns=float(time.perf_counter_ns() - started),
     )
 
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs.tracer import NULL_TRACER
 from .admission import AdmissionController
 from .engine import ServingEngine, ServingOutcome, TrackedJob
 from .frontdoor import admit_request
@@ -128,6 +129,7 @@ class AsyncFrontDoor:
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
         max_concurrent_steps: int = 1,
+        tracer=None,
     ) -> None:
         if max_concurrent_steps < 1:
             raise ValueError(
@@ -135,7 +137,19 @@ class AsyncFrontDoor:
             )
         self.service = service
         self.max_concurrent_steps = max_concurrent_steps
+        # Tracing: explicit tracer beats the service's (sessions/registries
+        # carry one when constructed with tracer=...); default is the no-op.
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else getattr(service, "tracer", None) or NULL_TRACER
+        )
         self.metrics = ServingMetrics()
+        if self.tracer.enabled:
+            if self.tracer.clock is None:
+                self.tracer.clock = service.clock
+            # Per-stage sketches fill from the same spans the trace records.
+            self.tracer.subscribe(self.metrics)
         self.admission = AdmissionController(max_queue)
         self.default_deadline_ns = default_deadline_ns
         self.default_max_step_rows = default_max_step_rows
@@ -145,6 +159,7 @@ class AsyncFrontDoor:
             backend=service.backend,
             admission=self.admission,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._handles: dict[int, AsyncResponseHandle] = {}
         self._task: asyncio.Task | None = None
@@ -194,6 +209,7 @@ class AsyncFrontDoor:
             request,
             self.default_deadline_ns,
             self.default_max_step_rows,
+            tracer=self.tracer,
         )
         handle = AsyncResponseHandle(entry.name)
         self._handles[entry.seq] = handle

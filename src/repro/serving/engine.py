@@ -58,8 +58,10 @@ fixed sampling order, so any interleaving produces byte-identical results
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from ..obs.tracer import NULL_TRACER
 from ..system.clock import Clock
 from ..system.report import RunReport
 from .admission import AdmissionController
@@ -154,6 +156,8 @@ class TrackedJob:
         "outcome",
         "in_flight",
         "step_started_ns",
+        "last_progress_ns",
+        "tenant",
         "_estimate_cache",
     )
 
@@ -182,6 +186,12 @@ class TrackedJob:
         self.in_flight = False
         #: The job clock's reading when the in-flight step was picked.
         self.step_started_ns = 0.0
+        #: High-water mark of accounted lifecycle time: queue-wait and step
+        #: spans tile [submitted_ns, finished_ns] exactly by always starting
+        #: where the previous span ended (replay backdates it to arrival).
+        self.last_progress_ns = submitted_ns
+        #: Tenant key for per-tenant metrics (registry-routed jobs carry one).
+        self.tenant = getattr(job, "tenant", None)
         self._estimate_cache: tuple[int, float, float] | None = None
 
     def estimated_remaining(self) -> float:
@@ -235,6 +245,16 @@ class ServingEngine:
         caller sheds before a job is ever built).
     metrics:
         Optional :class:`ServingMetrics` fed on every finalization.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  Defaults to the shared no-op
+        :data:`~repro.obs.NULL_TRACER`; every emission site guards on
+        ``tracer.enabled``, so the untraced path allocates nothing and
+        stays byte-identical.  When enabled, the engine emits the
+        request-lifecycle spans: ``queue.wait`` and ``engine.step`` tile
+        each request's ``[submitted, finished]`` interval exactly on the
+        job's own clock, ``request.submitted``/``request.finalized``
+        events carry the endpoint stamps, and ``engine.settle`` measures
+        finalization work (report assembly) in real time.
     """
 
     def __init__(
@@ -244,12 +264,14 @@ class ServingEngine:
         backend=None,
         admission: AdmissionController | None = None,
         metrics: ServingMetrics | None = None,
+        tracer=None,
     ) -> None:
         self.clock = clock
         self.policy = make_policy(policy)
         self.backend = backend
         self.admission = admission
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._entries: list[TrackedJob] = []
         self._fresh: list[TrackedJob] = []
         self._order = 0
@@ -295,6 +317,15 @@ class ServingEngine:
         )
         self._order += 1
         self._entries.append(entry)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "request.submitted",
+                clock=job_clock,
+                name=entry.name,
+                tenant=entry.tenant,
+                submitted_ns=submitted,
+                deadline_ns=entry.deadline_ns,
+            )
         return entry
 
     # -------------------------------------------------------------- inspection
@@ -323,22 +354,49 @@ class ServingEngine:
     # ------------------------------------------------------------- finalization
 
     def _finalize(self, entry: TrackedJob, status: str, report, error=None) -> None:
+        finished = entry.clock.elapsed_ns
         entry.outcome = ServingOutcome(
             name=entry.name,
             status=status,
             report=report,
             submitted_ns=entry.submitted_ns,
-            finished_ns=entry.clock.elapsed_ns,
+            finished_ns=finished,
             steps=entry.steps,
             service_ns=entry.service_ns,
             deadline_ns=entry.deadline_ns,
             error=error,
         )
         self._fresh.append(entry)
+        if self.tracer.enabled:
+            if finished > entry.last_progress_ns:
+                # Close the lifecycle tiling: time between the last step
+                # (or submission) and finalization was spent waiting.
+                self.tracer.span_at(
+                    "queue.wait",
+                    entry.last_progress_ns,
+                    finished,
+                    clock=entry.clock,
+                    name=entry.name,
+                    tenant=entry.tenant,
+                )
+            self.tracer.event(
+                "request.finalized",
+                clock=entry.clock,
+                name=entry.name,
+                tenant=entry.tenant,
+                status=status,
+                submitted_ns=entry.submitted_ns,
+                finished_ns=finished,
+                latency_ns=entry.outcome.latency_ns,
+                service_ns=entry.service_ns,
+                steps=entry.steps,
+                deadline_ns=entry.deadline_ns,
+            )
+        entry.last_progress_ns = finished
         if self.admission is not None:
             self.admission.release()
         if self.metrics is not None:
-            self.metrics.record_outcome(entry.outcome)
+            self.metrics.record_outcome(entry.outcome, tenant=entry.tenant)
 
     def _settle_expired(
         self, entry: TrackedJob, now: float, error: DeadlineMiss | None = None
@@ -430,7 +488,17 @@ class ServingEngine:
             return None
         entry = self.policy.select(dispatchable, self.clock.elapsed_ns)
         entry.in_flight = True
-        entry.step_started_ns = entry.clock.elapsed_ns
+        now = entry.clock.elapsed_ns
+        if self.tracer.enabled and now > entry.last_progress_ns:
+            self.tracer.span_at(
+                "queue.wait",
+                entry.last_progress_ns,
+                now,
+                clock=entry.clock,
+                name=entry.name,
+                tenant=entry.tenant,
+            )
+        entry.step_started_ns = now
         entry.rr_key = self._order
         self._order += 1
         return entry
@@ -451,12 +519,40 @@ class ServingEngine:
             # Finalized while mid-step (cancel_pending on shutdown): the
             # straggler step's work is discarded, never double-finalized.
             return
-        entry.service_ns += entry.clock.elapsed_ns - entry.step_started_ns
+        now = entry.clock.elapsed_ns
+        entry.service_ns += now - entry.step_started_ns
         entry.steps += 1
+        entry.last_progress_ns = now
+        if self.tracer.enabled:
+            self.tracer.span_at(
+                "engine.step",
+                entry.step_started_ns,
+                now,
+                clock=entry.clock,
+                name=entry.name,
+                tenant=entry.tenant,
+                step=entry.steps,
+                stage=getattr(entry.job, "last_stage", None),
+            )
         if entry.job.done:
             # Done beats expired: a job finishing exactly on its deadline
             # (round boundary == deadline) is a hit, not a miss.
-            self._finalize(entry, COMPLETED, entry.job.finish(entry.service_ns))
+            if self.tracer.enabled:
+                # Settle cost (report assembly, audits) is real work the
+                # simulated clock never charges — measure it in wall time.
+                wall0 = float(time.monotonic_ns())
+                report = entry.job.finish(entry.service_ns)
+                self._finalize(entry, COMPLETED, report)
+                self.tracer.span_at(
+                    "engine.settle",
+                    wall0,
+                    float(time.monotonic_ns()),
+                    clock="monotonic",
+                    name=entry.name,
+                    tenant=entry.tenant,
+                )
+            else:
+                self._finalize(entry, COMPLETED, entry.job.finish(entry.service_ns))
         self._expire_due()
 
     def step(self) -> bool:

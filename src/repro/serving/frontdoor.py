@@ -38,6 +38,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
+from ..obs.tracer import NULL_TRACER
 from .admission import AdmissionController
 from .engine import ServingEngine, ServingOutcome, TrackedJob
 from .metrics import SHED, ServingMetrics
@@ -55,6 +56,7 @@ def admit_request(
     request: QueryRequest,
     default_deadline_ns: float | None,
     default_max_step_rows: int | None,
+    tracer=NULL_TRACER,
 ) -> TrackedJob:
     """Admission + routing + job construction + engine submission.
 
@@ -65,10 +67,29 @@ def admit_request(
     """
     name = request.name or request.query.name or "query"
     if not admission.try_admit():
+        tenant = getattr(request, "dataset", None)
         metrics.record_shed(
-            had_deadline=(request.deadline_ns or default_deadline_ns) is not None
+            had_deadline=(request.deadline_ns or default_deadline_ns) is not None,
+            tenant=tenant,
         )
+        if tracer.enabled:
+            tracer.event(
+                "admission.shed",
+                clock=service.clock,
+                name=name,
+                tenant=tenant,
+                in_flight=admission.in_flight,
+                max_queue=admission.max_queue,
+            )
         raise AdmissionRejected(name, admission.in_flight, admission.max_queue)
+    if tracer.enabled:
+        tracer.event(
+            "admission.accept",
+            clock=service.clock,
+            name=name,
+            tenant=getattr(request, "dataset", None),
+            in_flight=admission.in_flight,
+        )
     try:
         job = service.job_for_request(
             request, default_max_step_rows=default_max_step_rows
@@ -164,6 +185,7 @@ class FrontDoor:
         default_deadline_ns: float | None = None,
         default_max_step_rows: int | None = None,
         max_concurrent_steps: int = 1,
+        tracer=None,
     ) -> None:
         if max_concurrent_steps < 1:
             raise ValueError(
@@ -171,7 +193,19 @@ class FrontDoor:
             )
         self.service = service
         self.max_concurrent_steps = max_concurrent_steps
+        # Tracing: explicit tracer beats the service's (sessions/registries
+        # carry one when constructed with tracer=...); default is the no-op.
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else getattr(service, "tracer", None) or NULL_TRACER
+        )
         self.metrics = ServingMetrics()
+        if self.tracer.enabled:
+            if self.tracer.clock is None:
+                self.tracer.clock = service.clock
+            # Per-stage sketches fill from the same spans the trace records.
+            self.tracer.subscribe(self.metrics)
         self.admission = AdmissionController(max_queue)
         self.default_deadline_ns = default_deadline_ns
         self.default_max_step_rows = default_max_step_rows
@@ -181,6 +215,7 @@ class FrontDoor:
             backend=service.backend,
             admission=self.admission,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
@@ -212,6 +247,7 @@ class FrontDoor:
             request,
             self.default_deadline_ns,
             self.default_max_step_rows,
+            tracer=self.tracer,
         )
 
     def submit(self, request: QueryRequest) -> ResponseHandle:
@@ -409,8 +445,10 @@ class FrontDoor:
                     cursor += 1
                     try:
                         entry = self._admit(request)
-                        # Open-loop: latency and deadline run from arrival.
+                        # Open-loop: latency and deadline run from arrival,
+                        # and so does the lifecycle span tiling.
                         entry.submitted_ns = arrival_ns
+                        entry.last_progress_ns = arrival_ns
                         if request.deadline_ns is not None:
                             entry.deadline_ns = arrival_ns + request.deadline_ns
                         elif self.default_deadline_ns is not None:

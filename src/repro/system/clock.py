@@ -41,6 +41,13 @@ class Clock(ABC):
     #: True when time only advances through charges (replayable/idleable).
     virtual: bool = False
 
+    #: Smallest meaningful timeline increment, in ns.  Consumers comparing
+    #: timestamp arithmetic (e.g. a trace's stage sums against end-to-end
+    #: latency stamps) should tolerate up to one tick of drift; both the
+    #: simulated clock (float ns charges) and the wall clock
+    #: (``monotonic_ns``) resolve to 1 ns.
+    resolution_ns: float = 1.0
+
     @property
     @abstractmethod
     def elapsed_ns(self) -> float:

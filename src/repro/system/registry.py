@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Iterator
 
+from ..obs.tracer import NULL_TRACER
 from ..parallel import ExecutionBackend, make_backend
 from ..serving.request import UnknownDataset
 from ..storage.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -81,12 +82,20 @@ class SessionRegistry:
         block_size: int = DEFAULT_BLOCK_SIZE,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         audit: bool = True,
+        tracer=None,
     ) -> None:
         if max_cached_bytes is not None and max_cached_bytes < 1:
             raise ValueError(f"max_cached_bytes must be >= 1, got {max_cached_bytes}")
         self.clock = clock if clock is not None else SimulatedClock()
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(backend, workers)
+        #: Shared tracer for every tenant's spans (sessions inherit it, and
+        #: the shared backend's fan-out windows report into it too).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            if self.tracer.clock is None:
+                self.tracer.clock = self.clock
+            self.backend.set_tracer(self.tracer)
         self.max_cached_bytes = max_cached_bytes
         self.block_size = block_size
         self.cost_model = cost_model
@@ -119,6 +128,7 @@ class SessionRegistry:
         session_kwargs.setdefault("block_size", self.block_size)
         session_kwargs.setdefault("cost_model", self.cost_model)
         session_kwargs.setdefault("audit", self.audit)
+        session_kwargs.setdefault("tracer", self.tracer)
         session = MatchSession(
             table,
             backend=self.backend,
@@ -126,6 +136,9 @@ class SessionRegistry:
             cache_governor=self,
             **session_kwargs,
         )
+        # Per-tenant attribution: the dataset key labels this session's
+        # jobs (metrics) and cache events (spans).
+        session.tenant = key
         self._sessions[key] = session
         return session
 

@@ -78,6 +78,12 @@ class ServingReport:
     p99_latency_ms: float
     mean_latency_ms: float
     mean_service_ms: float
+    #: Lifecycle-stage time budget (stage -> count/total_ms/p50_ms/p99_ms/rows),
+    #: populated when the metrics object is subscribed to a tracer.
+    per_stage: dict = field(default_factory=dict)
+    #: Per-tenant status counts + latency summary, populated when jobs carry
+    #: a tenant (every registry-routed request does).
+    per_tenant: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-friendly form for benchmark output."""

@@ -39,6 +39,7 @@ from ..bitmap.builder import build_bitmap_index
 from ..core.config import HistSimConfig
 from ..core.histsim import HistSim, HistSimStepper
 from ..core.target import resolve_target
+from ..obs.tracer import NULL_TRACER
 from ..parallel import ExecutionBackend, make_backend
 from ..query.executor import exact_candidate_counts
 from ..query.predicate import TruePredicate
@@ -117,12 +118,19 @@ class _StepperJob:
         audit: bool,
         max_step_rows: int | None,
         backend: ExecutionBackend,
+        tracer=NULL_TRACER,
+        tenant: str | None = None,
     ) -> None:
         self.name = name
         self.approach = approach
         self.prepared = prepared
         self.config = config
         self.clock = clock
+        self.tracer = tracer
+        self.tenant = tenant
+        #: Stage the most recent step executed in ("stage1"/"stage2"/
+        #: "stage3"); the engine stamps it on its ``engine.step`` spans.
+        self.last_stage: str | None = None
         self._cost_model = cost_model
         self._audit = audit
         rng = np.random.default_rng(seed)
@@ -141,7 +149,29 @@ class _StepperJob:
         return self.stepper.done
 
     def step(self) -> None:
-        self.stepper.step()
+        if not self.tracer.enabled:
+            self.stepper.step()
+            return
+        # The calibration signal: the lookahead estimate before and after
+        # each slice, against the rows the slice actually delivered.
+        # estimated_remaining_rows() is pure (no clock charges, no RNG),
+        # so traced runs stay byte-identical to untraced ones.
+        stepper = self.stepper
+        est_before = stepper.estimated_remaining_rows()
+        stage = stepper.stage_name
+        with self.tracer.span(
+            f"stepper.{stage}", clock=self.clock, name=self.name, tenant=self.tenant
+        ) as span:
+            report = stepper.step()
+            span.set(
+                round=report.round_index,
+                fresh_rows=report.fresh_rows,
+                done=report.done,
+                est_rows_before=est_before,
+                est_rows_after=stepper.estimated_remaining_rows(),
+                est_ns_before=est_before * self._cost_model.tuple_read_ns,
+            )
+        self.last_stage = report.stage
 
     def estimated_remaining_rows(self) -> float:
         """Cost hint for shortest-expected-remaining-cost scheduling."""
@@ -199,6 +229,8 @@ class _ScanJob:
         clock: SimulatedClock,
         audit: bool,
         backend: ExecutionBackend | None = None,
+        tracer=NULL_TRACER,
+        tenant: str | None = None,
     ) -> None:
         self.name = name
         self.approach = "scan"
@@ -206,6 +238,9 @@ class _ScanJob:
         self.config = config
         self.cost_model = cost_model
         self.clock = clock
+        self.tracer = tracer
+        self.tenant = tenant
+        self.last_stage: str | None = None
         self._audit = audit
         self._backend = backend
         self._result = None
@@ -223,16 +258,24 @@ class _ScanJob:
         return self.estimated_remaining_rows() * self.cost_model.tuple_read_ns
 
     def step(self) -> None:
-        self._result, _ = run_scan(
-            self.prepared.shuffled,
-            self.prepared.query,
-            self.prepared.target,
-            self.config.k,
-            self.config.sigma,
-            self.cost_model,
-            self.clock,
-            backend=self._backend,
-        )
+        with self.tracer.span(
+            "stepper.scan",
+            clock=self.clock,
+            name=self.name,
+            tenant=self.tenant,
+            rows=self.prepared.shuffled.num_rows,
+        ):
+            self._result, _ = run_scan(
+                self.prepared.shuffled,
+                self.prepared.query,
+                self.prepared.target,
+                self.config.k,
+                self.config.sigma,
+                self.cost_model,
+                self.clock,
+                backend=self._backend,
+            )
+        self.last_stage = "scan"
 
     def finish(self, service_ns: float) -> RunReport:
         return assemble_report(
@@ -326,6 +369,7 @@ class MatchSession:
         max_cached_queries: int | None = None,
         max_cached_bytes: int | None = None,
         cache_governor=None,
+        tracer=None,
     ) -> None:
         if max_cached_queries is not None and max_cached_queries < 1:
             raise ValueError(
@@ -340,6 +384,15 @@ class MatchSession:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(backend, workers)
         self.clock = clock if clock is not None else SimulatedClock()
+        #: Observability: spans for this session's jobs, cache events, and
+        #: (when the session owns its backend) backend fan-out windows.
+        #: Front doors constructed over this session pick it up.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Tenant key for per-tenant metrics; a SessionRegistry stamps the
+        #: dataset key here, standalone sessions stay anonymous.
+        self.tenant: str | None = None
+        if self.tracer.enabled and self._owns_backend:
+            self.backend.set_tracer(self.tracer)
         self.scheduler = BatchScheduler(self.clock, backend=self.backend, policy=policy)
         self.cache_stats = CacheStats()
         self.max_cached_queries = max_cached_queries
@@ -355,9 +408,26 @@ class MatchSession:
 
     # -------------------------------------------------------------- artifacts
 
+    def _record_cache(self, layer: str, hit: bool) -> None:
+        self.cache_stats.record(layer, hit)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache.hit" if hit else "cache.miss",
+                clock=self.clock,
+                layer=layer,
+                tenant=self.tenant,
+            )
+
+    def _record_eviction(self, layer: str) -> None:
+        self.cache_stats.record_eviction(layer)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache.evict", clock=self.clock, layer=layer, tenant=self.tenant
+            )
+
     def _cached(self, cache: dict, key, layer: str, build):
         hit = key in cache
-        self.cache_stats.record(layer, hit)
+        self._record_cache(layer, hit)
         if not hit:
             cache[key] = build()
         return cache[key]
@@ -403,27 +473,27 @@ class MatchSession:
             self._shuffle_cache = {
                 k: v for k, v in self._shuffle_cache.items() if v is not evicted.shuffled
             }
-            self.cache_stats.record_eviction("shuffle")
+            self._record_eviction("shuffle")
             unpublish.append(evicted.shuffled.table)
         if not any(p.index is evicted.index for p in live):
             self._index_cache = {
                 k: v for k, v in self._index_cache.items() if v is not evicted.index
             }
-            self.cache_stats.record_eviction("index")
+            self._record_eviction("index")
         if not any(p.exact_counts is evicted.exact_counts for p in live):
             self._exact_cache = {
                 k: v
                 for k, v in self._exact_cache.items()
                 if v is not evicted.exact_counts
             }
-            self.cache_stats.record_eviction("ground_truth")
+            self._record_eviction("ground_truth")
         if evicted.row_filter is not None and not any(
             p.row_filter is evicted.row_filter for p in live
         ):
             self._filter_cache = {
                 k: v for k, v in self._filter_cache.items() if v is not evicted.row_filter
             }
-            self.cache_stats.record_eviction("row_filter")
+            self._record_eviction("row_filter")
             unpublish.append(evicted.row_filter)
         if unpublish:
             self.backend.unpublish(*unpublish)
@@ -443,7 +513,7 @@ class MatchSession:
         """Drop one cached prepared query, release its orphaned artifacts,
         and tell the cross-session governor (if any) the slot is gone."""
         evicted = self._prepared_cache.pop(key)
-        self.cache_stats.record_eviction("prepared")
+        self._record_eviction("prepared")
         self._release_artifacts(evicted)
         if self._governor is not None:
             self._governor.cache_evicted(self, key)
@@ -481,12 +551,12 @@ class MatchSession:
         """
         key = (query, self.block_size, seed)
         if key in self._prepared_cache:
-            self.cache_stats.record("prepared", True)
+            self._record_cache("prepared", True)
             self._prepared_cache.move_to_end(key)
             if self._governor is not None:
                 self._governor.cache_touched(self, key)
             return self._prepared_cache[key]
-        self.cache_stats.record("prepared", False)
+        self._record_cache("prepared", False)
         query.validate_against(self.table)
         shuffled = self._cached(
             self._shuffle_cache,
@@ -616,6 +686,8 @@ class MatchSession:
             return _ScanJob(
                 job_name, prepared, config, self.cost_model, self.clock, self.audit,
                 backend=self.backend,
+                tracer=self.tracer,
+                tenant=self.tenant,
             )
         return _StepperJob(
             job_name,
@@ -628,6 +700,8 @@ class MatchSession:
             self.audit,
             max_step_rows,
             self.backend,
+            tracer=self.tracer,
+            tenant=self.tenant,
         )
 
     def job_for_request(self, request, default_max_step_rows: int | None = None):
