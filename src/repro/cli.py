@@ -55,7 +55,26 @@ from pathlib import Path
 from .core.config import HistSimConfig
 from .data import QUERY_NAMES, load_dataset, prepare_workload, workload_query
 from .data.registry import dataset_builders
-from .obs import TraceReader, TraceSchemaError, TraceWriter, Tracer, summarize_records
+from .obs import (
+    ProfileSnapshot,
+    Profiler,
+    StatsExporter,
+    TraceReader,
+    TraceSchemaError,
+    TraceWriter,
+    Tracer,
+    WallProfiler,
+    summarize_records,
+)
+from .obs.bench_history import (
+    DEFAULT_BASELINE_K,
+    DEFAULT_MIN_BASELINE,
+    DEFAULT_TOLERANCE,
+    NORMALIZERS,
+    BenchHistory,
+    BenchRecord,
+    check_regression,
+)
 from .parallel import BACKENDS, WORKER_BACKENDS, make_backend
 from .serving import POLICIES, QueryRequest
 from .system import APPROACHES, MatchSession, SessionRegistry, run_approach
@@ -224,6 +243,15 @@ def build_parser() -> argparse.ArgumentParser:
              "to this path (enables tracing; inspect with "
              "'repro trace summarize FILE')",
     )
+    serve.add_argument(
+        "--stats-out", type=Path, default=None,
+        help="periodically export queue/latency/health frames as JSON to "
+             "this path while serving (watch live with 'repro top FILE')",
+    )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.5,
+        help="seconds between --stats-out frames (default: 0.5)",
+    )
     serve.set_defaults(command="serve")
 
     trace = subparsers.add_parser(
@@ -238,7 +266,130 @@ def build_parser() -> argparse.ArgumentParser:
                        help="what to do with the trace (summarize: "
                             "per-stage time-budget table)")
     trace.add_argument("file", type=Path, help="JSONL trace file")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of a table")
     trace.set_defaults(command="trace")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile one workload query's hot path",
+        description="Run one workload query with the hot-path profiler on: "
+                    "per-kernel effort (calls, ns, rows gathered, blocks, "
+                    "bytes moved, bincount invocations) attributed per "
+                    "HistSim stage, per-stage simulated time reconciled "
+                    "against trace spans, and (with --wall) collapsed-stack "
+                    "samples renderable by any flamegraph tool.",
+    )
+    profile.add_argument("query", choices=QUERY_NAMES, help="Table 3 query")
+    profile.add_argument(
+        "--approach", choices=APPROACHES, default=argparse.SUPPRESS,
+        help="execution approach (default: fastmatch)",
+    )
+    profile.add_argument("--rows", type=int, default=argparse.SUPPRESS,
+                         help="dataset rows (default 1,000,000)")
+    profile.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    profile.add_argument("--epsilon", type=float, default=argparse.SUPPRESS)
+    profile.add_argument("--delta", type=float, default=argparse.SUPPRESS)
+    profile.add_argument("--sigma", type=float, default=argparse.SUPPRESS)
+    profile.add_argument(
+        "--backend", choices=BACKENDS, default=argparse.SUPPRESS,
+        help="execution backend (default: serial)",
+    )
+    profile.add_argument(
+        "--workers", type=_positive_int, default=argparse.SUPPRESS,
+        help="workers for --backend sharded/threads",
+    )
+    profile.add_argument(
+        "--wall", action="store_true",
+        help="also sample wall-clock stacks on a background thread and "
+             "print collapsed flamegraph lines",
+    )
+    profile.add_argument(
+        "--wall-interval-ms", type=float, default=5.0,
+        help="wall-profiler sampling interval (default: 5 ms)",
+    )
+    profile.add_argument(
+        "--top", type=_positive_int, default=15,
+        help="collapsed stacks to print with --wall (default: 15)",
+    )
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile as JSON")
+    profile.set_defaults(command="profile")
+
+    top = subparsers.add_parser(
+        "top",
+        help="live dashboard over a serving process's --stats-out file",
+        description="Tail the JSON frames a running 'repro serve "
+                    "--stats-out FILE' exports and render a live dashboard: "
+                    "queue depth, step slots, shared-memory bytes, per-"
+                    "tenant latency percentiles, calibration ratios, and "
+                    "health status.  Purely a reader — the serving process "
+                    "is never touched.",
+    )
+    top.add_argument("file", type=Path, help="stats JSON file written by "
+                                             "'serve --stats-out'")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes (default: 1.0)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no screen clearing)")
+    top.set_defaults(command="top")
+
+    bench_history = subparsers.add_parser(
+        "bench-history",
+        help="record/check/show the benchmark perf history",
+        description="Maintain the append-only benchmark history under "
+                    "benchmarks/results/history/ and gate regressions: "
+                    "'record' normalizes bench_*.json results into history "
+                    "records, 'check' compares the newest record per bench "
+                    "against the median of the last K comparable runs (or a "
+                    "committed baseline file) with per-metric tolerance "
+                    "bands, 'show' lists recorded history.",
+    )
+    bench_history.add_argument("action", choices=["record", "check", "show"])
+    bench_history.add_argument(
+        "--results-dir", type=Path, default=Path("benchmarks/results"),
+        help="directory holding bench_*.json results (record)",
+    )
+    bench_history.add_argument(
+        "--history-dir", type=Path, default=None,
+        help="history directory (default: RESULTS_DIR/history)",
+    )
+    bench_history.add_argument(
+        "--bench", choices=sorted(NORMALIZERS), default=None,
+        help="restrict to one bench id (default: all)",
+    )
+    bench_history.add_argument(
+        "--note", type=str, default="",
+        help="free-form note stored on recorded history entries",
+    )
+    bench_history.add_argument(
+        "--baseline", type=Path, default=None,
+        help="JSONL baseline file to check against instead of the trailing "
+             "history window (CI's committed tiny baseline)",
+    )
+    bench_history.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"tolerance band for gated metrics (default: {DEFAULT_TOLERANCE})",
+    )
+    bench_history.add_argument(
+        "--k", type=_positive_int, default=DEFAULT_BASELINE_K,
+        help=f"trailing baseline window (default: {DEFAULT_BASELINE_K})",
+    )
+    bench_history.add_argument(
+        "--min-baseline", type=_positive_int, default=DEFAULT_MIN_BASELINE,
+        help="comparable records required before the gate arms "
+             f"(default: {DEFAULT_MIN_BASELINE})",
+    )
+    bench_history.add_argument(
+        "--match-host", action="store_true",
+        help="only compare against records from this host (default: compare "
+             "everywhere; wall_* metrics auto-skip cross-host)",
+    )
+    bench_history.add_argument(
+        "--last", type=_positive_int, default=10,
+        help="records to list per bench with 'show' (default: 10)",
+    )
+    bench_history.set_defaults(command="bench-history")
     return parser
 
 
@@ -533,6 +684,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         registry.add_dataset(dataset_name, dataset.table)
         dataset_rows[dataset_name] = dataset.table.num_rows
 
+    # --stats-out starts the read-only StatsExporter over the live door:
+    # queue/latency/health frames land in a JSON file `repro top` tails.
+    exporter = None
     try:
         if args.use_async:
             door = registry.serve_async(
@@ -540,6 +694,10 @@ def _run_serve(args: argparse.Namespace) -> int:
                 max_queue=args.max_queue,
                 max_concurrent_steps=args.max_concurrent_steps,
             )
+            if args.stats_out is not None:
+                exporter = StatsExporter(
+                    door, args.stats_out, interval_s=args.stats_interval
+                ).start()
             outcomes = _drive_async(door, events)
             mode = "async (closed-loop)"
             if args.max_concurrent_steps > 1:
@@ -553,6 +711,10 @@ def _run_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             door = registry.serve(policy=args.policy, max_queue=args.max_queue)
+            if args.stats_out is not None:
+                exporter = StatsExporter(
+                    door, args.stats_out, interval_s=args.stats_interval
+                ).start()
             try:
                 outcomes = door.replay(
                     [(arrival_ns, request) for arrival_ns, _, request in events]
@@ -561,6 +723,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                 door.shutdown()
             mode = "replay (open-loop)"
     finally:
+        if exporter is not None:
+            exporter.stop()
         if writer is not None:
             writer.close()
 
@@ -593,6 +757,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     if writer is not None:
         print(f"  trace      : {writer.written} records -> {args.trace_out} "
               "(inspect: repro trace summarize)")
+    if exporter is not None:
+        print(f"  stats      : {exporter.frames} frames -> {args.stats_out} "
+              f"(watch: repro top {args.stats_out})")
     return 0
 
 
@@ -607,12 +774,292 @@ def _run_trace(args: argparse.Namespace) -> int:
         print(f"invalid trace: {exc}", file=sys.stderr)
         return 1
     summary = summarize_records(records)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(f"trace      : {args.file}  ({summary.spans} spans, "
           f"{summary.events} events, {summary.requests} requests)")
     print(summary.format_table())
     if summary.requests:
         print(f"end-to-end : {summary.total_latency_ns / 1e6:.2f} ms total latency, "
               f"max queue+step tiling drift {summary.max_drift_ns:.0f} ns")
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``repro profile QUERY`` — hot-path profile of one workload run."""
+    dataset_name, query = workload_query(args.query)
+    dataset = load_dataset(dataset_name, rows=args.rows, seed=args.seed)
+    k = args.k if args.k is not None else query.k
+    config = HistSimConfig(
+        k=k, epsilon=args.epsilon, delta=args.delta, sigma=args.sigma,
+        stage1_samples=min(50_000, max(1, args.rows // 20)),
+    )
+    profiler = Profiler()
+    tracer = Tracer()
+    wall = WallProfiler(args.wall_interval_ms * 1e-3) if args.wall else None
+    with MatchSession(
+        dataset.table, backend=args.backend, workers=args.workers,
+        profiler=profiler, tracer=tracer,
+    ) as session:
+        if wall is not None:
+            wall.start()
+        try:
+            outcome = session.match(
+                query, approach=args.approach, config=config, seed=args.seed
+            )
+        finally:
+            if wall is not None:
+                wall.stop()
+    report = outcome.report
+    profile = report.profile or {}
+
+    # The profile's per-stage durations and the stepper's trace spans share
+    # the same clock endpoints, so their per-stage sums agree exactly —
+    # printing both makes the reconciliation visible (drift should be 0).
+    trace_stage_ns: dict[str, float] = {}
+    for span in tracer.spans:
+        if span.name.startswith("stepper."):
+            stage = span.name[len("stepper."):]
+            trace_stage_ns[stage] = (
+                trace_stage_ns.get(stage, 0.0) + span.duration_ns
+            )
+
+    if args.json:
+        payload = {
+            "query": args.query,
+            "approach": args.approach,
+            "backend": report.backend,
+            "rows": dataset.table.num_rows,
+            "elapsed_ns": report.elapsed_ns,
+            "steps": outcome.steps,
+            "profile": profile,
+            "trace_stage_ns": trace_stage_ns,
+        }
+        if wall is not None:
+            payload["wall"] = {"samples": wall.samples, "stacks": wall.collapsed()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"query      : {args.query}  (approach={args.approach}, "
+          f"backend={report.backend}, rows={dataset.table.num_rows:,})")
+    print(f"latency    : {report.elapsed_seconds * 1e3:.2f} ms simulated, "
+          f"{outcome.steps} steps")
+    stages = profile.get("stages", {})
+    if stages:
+        print()
+        print(f"{'stage':<10} {'steps':>6} {'rows':>12} {'profile ms':>11} "
+              f"{'trace ms':>11} {'drift ns':>9}")
+        for stage, stats in stages.items():
+            trace_ns = trace_stage_ns.get(stage)
+            trace_ms = "-" if trace_ns is None else f"{trace_ns * 1e-6:.3f}"
+            drift = 0.0 if trace_ns is None else stats["ns"] - trace_ns
+            print(f"{stage:<10} {stats['steps']:>6} {stats['rows']:>12,} "
+                  f"{stats['ns'] * 1e-6:>11.3f} {trace_ms:>11} {drift:>9.0f}")
+    if profile.get("kernels"):
+        print()
+        print(ProfileSnapshot(**profile).format_table())
+    totals = profile.get("totals", {})
+    if totals:
+        print()
+        print(f"totals     : {totals.get('rows_gathered', 0):,} rows gathered, "
+              f"{totals.get('blocks_touched', 0):,} blocks, "
+              f"{totals.get('bytes_moved', 0) / 2**20:.2f} MiB moved, "
+              f"{totals.get('bincount_calls', 0)} bincounts, "
+              f"{totals.get('kernel_ns', 0.0) * 1e-6:.3f} ms in kernels")
+    if wall is not None:
+        print()
+        print(f"wall stacks: {wall.samples} samples @ "
+              f"{args.wall_interval_ms:g} ms (collapsed, flamegraph-ready)")
+        print(wall.format_collapsed(top=args.top) or "  (no samples landed)")
+    return 0
+
+
+def _render_top_frame(frame: dict, path: Path) -> str:
+    """One ``repro top`` screen from a StatsExporter frame dict."""
+    queue = frame.get("queue", {})
+    shm = frame.get("shm", {})
+    serving = frame.get("serving", {})
+    health = frame.get("health", {})
+    max_queue = queue.get("max_queue")
+    lines = [
+        f"repro top — {path}  (frame {frame.get('frame', 0)})",
+        "",
+        f"queue      : {queue.get('in_flight', 0)} in flight "
+        f"(bound {max_queue if max_queue is not None else 'unbounded'}), "
+        f"{queue.get('pending', 0)} pending, "
+        f"{queue.get('stepping', 0)}/{queue.get('step_slots', 1)} step slots",
+        f"shm        : {shm.get('bytes', 0) / 2**20:.2f} MiB in "
+        f"{shm.get('segments', 0)} segments",
+        f"served     : {serving.get('requests', 0)} requests — "
+        f"{serving.get('completed', 0)} completed, "
+        f"{serving.get('partial', 0)} partial, "
+        f"{serving.get('missed', 0)} missed, {serving.get('shed', 0)} shed",
+        f"latency    : p50={serving.get('p50_latency_ms', 0.0):.2f} "
+        f"p95={serving.get('p95_latency_ms', 0.0):.2f} "
+        f"p99={serving.get('p99_latency_ms', 0.0):.2f} ms  "
+        f"deadline hit rate {serving.get('deadline_hit_rate', 1.0) * 100:.1f}%",
+    ]
+    merged = serving.get("all_tenants")
+    if merged:
+        lines.append(
+            f"all tenants: {merged.get('requests', 0)} requests, merged "
+            f"p50={merged.get('p50_latency_ms', 0.0):.2f} "
+            f"p99={merged.get('p99_latency_ms', 0.0):.2f} ms"
+        )
+    tenants = serving.get("per_tenant") or {}
+    for tenant, stats in sorted(tenants.items()):
+        line = (f"  [{tenant:<8}] completed={stats.get('completed', 0):<4} "
+                f"p50={stats.get('p50_latency_ms', 0.0):8.2f} ms")
+        calibration = stats.get("calibration_ratio", 0.0)
+        if calibration:
+            line += f"  calibration={calibration:.3f}"
+        lines.append(line)
+    status = health.get("status", "unknown")
+    lines.append(f"health     : {status.upper()}")
+    for reason in health.get("reasons", []):
+        lines.append(f"  ! {reason}")
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """``repro top FILE`` — live dashboard over serve's --stats-out frames."""
+    import time as _time
+
+    last_frame = -1
+    try:
+        while True:
+            if not args.file.exists():
+                if args.once:
+                    print(f"stats file not found: {args.file} "
+                          "(is 'repro serve --stats-out' running?)",
+                          file=sys.stderr)
+                    return 1
+                print(f"waiting for {args.file} ...", file=sys.stderr)
+                _time.sleep(args.interval)
+                continue
+            try:
+                frame = json.loads(args.file.read_text())
+            except json.JSONDecodeError:
+                # Torn read can't happen (atomic rename) but an unrelated
+                # file here shouldn't crash the dashboard loop.
+                if args.once:
+                    print(f"not a stats frame: {args.file}", file=sys.stderr)
+                    return 1
+                _time.sleep(args.interval)
+                continue
+            if args.once:
+                print(_render_top_frame(frame, args.file))
+                return 0
+            if frame.get("frame", 0) != last_frame:
+                last_frame = frame.get("frame", 0)
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+                print(_render_top_frame(frame, args.file))
+                sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _load_baseline(path: Path) -> list[BenchRecord]:
+    """Records of a committed baseline JSONL file (CI's perf gate input)."""
+    if not path.exists():
+        raise SystemExit(f"baseline file not found: {path}")
+    records = []
+    for line_no, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            records.append(BenchRecord.from_json(line))
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise SystemExit(f"{path}:{line_no}: bad baseline record: {exc}")
+    return records
+
+
+def _run_bench_history(args: argparse.Namespace) -> int:
+    """``repro bench-history {record,check,show}`` — the perf history store."""
+    history_dir = (
+        args.history_dir if args.history_dir is not None
+        else args.results_dir / "history"
+    )
+    history = BenchHistory(history_dir)
+    benches = [args.bench] if args.bench else sorted(NORMALIZERS)
+
+    if args.action == "record":
+        recorded = 0
+        for bench in benches:
+            results_file = args.results_dir / f"{bench}.json"
+            if not results_file.exists():
+                print(f"{bench}: no results at {results_file} (skipped)")
+                continue
+            record = NORMALIZERS[bench](
+                json.loads(results_file.read_text()), note=args.note
+            )
+            path = history.append(record)
+            recorded += 1
+            print(f"{bench}: recorded {len(record.metrics)} metrics "
+                  f"(config {record.config_hash}) -> {path}")
+        if not recorded:
+            print("nothing recorded: no results files found", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.action == "check":
+        baseline = (
+            _load_baseline(args.baseline) if args.baseline is not None else None
+        )
+        failed = False
+        checked = 0
+        for bench in benches:
+            records = history.records(bench)
+            if not records:
+                continue
+            newest = records[-1]
+            if baseline is not None:
+                prior = [r for r in baseline if r.bench == bench]
+            else:
+                prior = records[:-1]
+            report = check_regression(
+                newest, prior,
+                k=args.k,
+                tolerance=args.tolerance,
+                min_baseline=args.min_baseline,
+                match_host=args.match_host,
+            )
+            checked += 1
+            print(report.describe())
+            failed = failed or not report.ok
+        if not checked:
+            print(f"no history to check under {history_dir} "
+                  "(run 'repro bench-history record' first)", file=sys.stderr)
+            return 1
+        return 1 if failed else 0
+
+    # show
+    shown = 0
+    for bench in history.benches():
+        if args.bench and bench != args.bench:
+            continue
+        records = history.records(bench)
+        print(f"{bench}: {len(records)} records ({history.path_for(bench)})")
+        for index, record in enumerate(records[-args.last:],
+                                       max(0, len(records) - args.last) + 1):
+            preview = ", ".join(
+                f"{name}={value:.4g}"
+                for name, value in sorted(record.metrics.items())[:4]
+            )
+            more = len(record.metrics) - 4
+            if more > 0:
+                preview += f", +{more} more"
+            note = f"  ({record.note})" if record.note else ""
+            print(f"  #{index:<3} config={record.config_hash} "
+                  f"host={record.host_key}  {preview}{note}")
+        shown += 1
+    if not shown:
+        print(f"no history under {history_dir}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -626,6 +1073,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_batch(args)
     if command == "trace":
         return _run_trace(args)
+    if command == "profile":
+        return _run_profile(args)
+    if command == "top":
+        return _run_top(args)
+    if command == "bench-history":
+        return _run_bench_history(args)
     if command == "serve":
         if args.trace is None and not args.queries and not args.datasets:
             parser.error("serve requires --queries, --datasets, or --trace")

@@ -1,0 +1,413 @@
+"""Benchmark history: append-only perf records + a regression detector.
+
+Every ``bench_*.py`` run appends one normalized, schema-versioned record to
+a JSONL file under ``benchmarks/results/history/`` — bench id, a hash of
+the configuration that shaped the numbers, a host fingerprint, and a flat
+``metric -> float`` dict — so the perf trajectory of the repo is recorded
+instead of overwritten.
+
+Metric naming is the contract the regression detector keys on:
+
+- ``*_ms`` / ``*_ns`` / ``*_s`` / ``*_seconds`` — time-like, lower is
+  better; a regression is ``value > baseline * tolerance``.
+- ``*_rate`` / ``*_speedup`` — higher is better; a regression is
+  ``value * tolerance < baseline``.
+- ``*identical`` — correctness booleans (1.0/0.0), strict: any drop below
+  the baseline fails regardless of tolerance.
+- ``wall_*`` prefix — real wall-clock measurements, only comparable
+  between records with the same host fingerprint; cross-host checks skip
+  them.  Simulated-clock metrics (deterministic, host-independent) carry
+  no prefix and gate everywhere — including CI against a committed
+  baseline.
+- anything else — informational, never gated.
+
+The detector compares the newest record against a trailing baseline: the
+per-metric median of the last ``k`` prior records with the same bench id
+and config hash (and, unless disabled, the same host).  A committed
+baseline file can stand in for the trailing window (CI's tiny perf gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+
+__all__ = [
+    "BenchHistory",
+    "BenchRecord",
+    "HISTORY_SCHEMA_VERSION",
+    "RegressionFinding",
+    "RegressionReport",
+    "check_regression",
+    "config_hash",
+    "host_fingerprint",
+    "metric_kind",
+    "normalize_bench_serving",
+    "normalize_parallel_scaling",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default trailing-baseline window and tolerance band.
+DEFAULT_BASELINE_K = 5
+DEFAULT_TOLERANCE = 1.25
+DEFAULT_MIN_BASELINE = 2
+
+
+def host_fingerprint() -> dict:
+    """Where these numbers were measured (wall metrics only compare within)."""
+    return {
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def config_hash(config: dict) -> str:
+    """Stable short hash of the configuration that shaped the metrics."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def metric_kind(name: str) -> str:
+    """``lower``/``higher``/``strict``/``info`` — the gating direction."""
+    base = name[5:] if name.startswith("wall_") else name
+    if base.endswith("identical"):
+        return "strict"
+    if base.endswith(("_rate", "_speedup", "speedup")):
+        return "higher"
+    if base.endswith(("_ms", "_ns", "_s", "_seconds")):
+        return "lower"
+    return "info"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One normalized benchmark run in the history store."""
+
+    bench: str
+    config: dict
+    metrics: dict
+    host: dict = field(default_factory=host_fingerprint)
+    note: str = ""
+    schema: int = HISTORY_SCHEMA_VERSION
+
+    @property
+    def config_hash(self) -> str:
+        return config_hash(self.config)
+
+    @property
+    def host_key(self) -> str:
+        return config_hash(self.host)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": self.schema,
+                "bench": self.bench,
+                "config": self.config,
+                "config_hash": self.config_hash,
+                "host": self.host,
+                "metrics": self.metrics,
+                "note": self.note,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "BenchRecord":
+        data = json.loads(line)
+        schema = data.get("schema")
+        if schema != HISTORY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported history schema {schema!r} "
+                f"(this build reads v{HISTORY_SCHEMA_VERSION})"
+            )
+        for key in ("bench", "config", "metrics"):
+            if key not in data:
+                raise ValueError(f"history record missing {key!r}")
+        if not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in data["metrics"].values()
+        ):
+            raise ValueError("history metrics must be numeric")
+        return cls(
+            bench=data["bench"],
+            config=data["config"],
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            host=data.get("host", {}),
+            note=data.get("note", ""),
+        )
+
+
+class BenchHistory:
+    """Append-only JSONL store, one file per bench id under ``root``."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def path_for(self, bench: str) -> Path:
+        return self.root / f"{bench}.jsonl"
+
+    def benches(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def append(self, record: BenchRecord) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record.bench)
+        with path.open("a") as fh:
+            fh.write(record.to_json() + "\n")
+        return path
+
+    def records(self, bench: str) -> list[BenchRecord]:
+        """All records for ``bench``, oldest first; bad lines raise."""
+        path = self.path_for(bench)
+        if not path.exists():
+            return []
+        records = []
+        for line_no, line in enumerate(path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(BenchRecord.from_json(line))
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from exc
+        return records
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One metric outside its tolerance band."""
+
+    metric: str
+    value: float
+    baseline: float
+    ratio: float
+    limit: float
+    kind: str
+
+    def describe(self) -> str:
+        direction = "above" if self.kind == "lower" else "below"
+        return (
+            f"{self.metric}: {self.value:.4g} vs baseline {self.baseline:.4g} "
+            f"({self.ratio:.2f}x, {direction} the {self.limit:.2f}x band)"
+        )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of one bench's newest-vs-baseline comparison."""
+
+    bench: str
+    ok: bool
+    findings: tuple
+    checked: int
+    skipped_wall: int
+    baseline_records: int
+    note: str = ""
+
+    def describe(self) -> str:
+        if self.baseline_records == 0:
+            return f"{self.bench}: no baseline yet ({self.note})"
+        state = "OK" if self.ok else "REGRESSION"
+        lines = [
+            f"{self.bench}: {state} — {self.checked} metrics vs "
+            f"{self.baseline_records}-record baseline"
+            + (f", {self.skipped_wall} wall metrics skipped (cross-host)"
+               if self.skipped_wall else "")
+        ]
+        lines.extend(f"  {f.describe()}" for f in self.findings)
+        return "\n".join(lines)
+
+
+def _baseline_for(
+    newest: BenchRecord,
+    prior: list[BenchRecord],
+    *,
+    k: int,
+    match_host: bool,
+) -> tuple[dict, int, bool]:
+    """Per-metric median over the last ``k`` comparable prior records.
+
+    Returns ``(medians, count, same_host)`` — ``same_host`` is True only
+    when every baseline record shares the newest record's host fingerprint
+    (wall metrics gate only then).
+    """
+    comparable = [r for r in prior if r.config_hash == newest.config_hash]
+    if match_host:
+        comparable = [r for r in comparable if r.host_key == newest.host_key]
+    window = comparable[-k:]
+    if not window:
+        return {}, 0, False
+    medians: dict[str, float] = {}
+    for metric in window[-1].metrics:
+        values = [r.metrics[metric] for r in window if metric in r.metrics]
+        if values:
+            medians[metric] = median(values)
+    same_host = all(r.host_key == newest.host_key for r in window)
+    return medians, len(window), same_host
+
+
+def check_regression(
+    newest: BenchRecord,
+    prior: list[BenchRecord],
+    *,
+    k: int = DEFAULT_BASELINE_K,
+    tolerance: float = DEFAULT_TOLERANCE,
+    per_metric: dict | None = None,
+    min_baseline: int = DEFAULT_MIN_BASELINE,
+    match_host: bool = True,
+) -> RegressionReport:
+    """Compare ``newest`` against the trailing baseline in ``prior``.
+
+    With fewer than ``min_baseline`` comparable records the check passes
+    vacuously (a young history cannot gate).  ``per_metric`` overrides the
+    tolerance band for specific metric names; correctness metrics
+    (``*identical``) are strict regardless.
+    """
+    if tolerance < 1.0:
+        raise ValueError(f"tolerance must be >= 1.0, got {tolerance}")
+    medians, count, same_host = _baseline_for(
+        newest, prior, k=k, match_host=match_host
+    )
+    if count < min_baseline:
+        return RegressionReport(
+            bench=newest.bench,
+            ok=True,
+            findings=(),
+            checked=0,
+            skipped_wall=0,
+            baseline_records=count,
+            note=f"fewer than {min_baseline} comparable baseline records",
+        )
+    findings = []
+    checked = 0
+    skipped_wall = 0
+    for metric, value in sorted(newest.metrics.items()):
+        kind = metric_kind(metric)
+        if kind == "info" or metric not in medians:
+            continue
+        if metric.startswith("wall_") and not same_host:
+            skipped_wall += 1
+            continue
+        baseline = medians[metric]
+        limit = 1.0 if kind == "strict" else float(
+            (per_metric or {}).get(metric, tolerance)
+        )
+        checked += 1
+        if kind == "lower":
+            if baseline > 0 and value > baseline * limit:
+                findings.append(RegressionFinding(
+                    metric, value, baseline, value / baseline, limit, kind
+                ))
+        else:  # higher-is-better and strict
+            if value * limit < baseline:
+                ratio = value / baseline if baseline else 0.0
+                findings.append(RegressionFinding(
+                    metric, value, baseline, ratio, limit, kind
+                ))
+    return RegressionReport(
+        bench=newest.bench,
+        ok=not findings,
+        findings=tuple(findings),
+        checked=checked,
+        skipped_wall=skipped_wall,
+        baseline_records=count,
+    )
+
+
+# --------------------------------------------------------------------------
+# Normalizers: results JSON written by benchmarks/bench_*.py -> BenchRecord
+# --------------------------------------------------------------------------
+
+
+def normalize_bench_serving(data: dict, note: str = "") -> BenchRecord:
+    """Flatten ``bench_serving.json`` into a history record.
+
+    Every gated metric here is *simulated-clock* (deterministic given the
+    config), so records compare across hosts — including CI runners against
+    a committed baseline.
+    """
+    config = {
+        "bench": "bench_serving",
+        "rows": data.get("rows"),
+        "requests": data.get("requests"),
+        "overload": data.get("overload"),
+        "max_queue": data.get("max_queue"),
+        "max_step_rows": data.get("max_step_rows"),
+        "backend": data.get("backend"),
+        "max_concurrent_steps": data.get("max_concurrent_steps"),
+    }
+    metrics: dict[str, float] = {
+        "mean_service_ms": float(data.get("mean_service_ms", 0.0)),
+    }
+    for record in data.get("policies", []):
+        prefix = record["policy"].replace("-", "_")
+        metrics[f"{prefix}_p50_latency_ms"] = float(record["p50_latency_ms"])
+        metrics[f"{prefix}_p99_latency_ms"] = float(record["p99_latency_ms"])
+        metrics[f"{prefix}_deadline_hit_rate"] = float(record["deadline_hit_rate"])
+        metrics[f"{prefix}_completed_count"] = float(record["completed"])
+    for record in (data.get("multi_tenant") or {}).get("policies", []):
+        prefix = "mt_" + record["policy"].replace("-", "_")
+        metrics[f"{prefix}_p50_latency_ms"] = float(record["p50_latency_ms"])
+        metrics[f"{prefix}_p99_latency_ms"] = float(record["p99_latency_ms"])
+        metrics[f"{prefix}_deadline_hit_rate"] = float(record["deadline_hit_rate"])
+    return BenchRecord(
+        bench="bench_serving", config=config, metrics=metrics, note=note
+    )
+
+
+def normalize_parallel_scaling(data: dict, note: str = "") -> BenchRecord:
+    """Flatten ``parallel_scaling.json`` into a history record.
+
+    Timings here are real wall-clock, so they carry the ``wall_`` prefix
+    and only gate against same-host baselines; the byte-identity flags are
+    strict everywhere.
+    """
+    config = {
+        "bench": "parallel_scaling",
+        "tiny": data.get("tiny"),
+        "max_concurrent_steps": data.get("max_concurrent_steps"),
+        "datasets": [
+            {
+                "dataset": d.get("dataset"),
+                "rows": d.get("rows"),
+                "block_size": d.get("block_size"),
+                "passes": d.get("passes"),
+                "workers": sorted({r["workers"] for r in d.get("runs", [])}),
+            }
+            for d in data.get("datasets", [])
+        ],
+    }
+    metrics: dict[str, float] = {}
+    all_identical = 1.0
+    for entry in data.get("datasets", []):
+        dataset = entry["dataset"]
+        metrics[f"wall_{dataset}_serial_seconds"] = float(entry["serial_seconds"])
+        for run in entry.get("runs", []):
+            key = f"{dataset}_{run['backend_name']}_{run['workers']}w"
+            metrics[f"wall_{key}_seconds"] = float(run["seconds"])
+            metrics[f"wall_{key}_speedup"] = float(run["speedup"])
+            all_identical = min(
+                all_identical, 1.0 if run.get("identical_to_serial") else 0.0
+            )
+    metrics["counts_identical"] = all_identical
+    return BenchRecord(
+        bench="parallel_scaling", config=config, metrics=metrics, note=note
+    )
+
+
+#: results-file stem -> normalizer, used by ``repro bench-history record``.
+NORMALIZERS = {
+    "bench_serving": normalize_bench_serving,
+    "parallel_scaling": normalize_parallel_scaling,
+}

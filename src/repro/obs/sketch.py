@@ -60,6 +60,54 @@ class QuantileSketch:
             if j < self.capacity:
                 self._samples[j] = value
 
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other``'s stream into this sketch without re-recording.
+
+        Count, sum, min, and max merge exactly.  While the union still fits
+        in ``capacity`` the samples simply concatenate, so the merged sketch
+        is byte-identical to having observed both streams directly (exact
+        regime).  Beyond capacity the retained samples of the two sketches
+        are themselves uniform samples of their streams, so a uniform
+        sample of the union is drawn by repeatedly picking a source with
+        probability proportional to its remaining represented stream mass
+        and removing one of its samples at random — each retained sample of
+        sketch ``i`` stands for ``count_i / len(samples_i)`` stream
+        elements.  The merged quantile error keeps the documented
+        ``~sqrt(q(1-q)/capacity)`` reservoir bound.
+
+        ``other`` is read, never mutated.  Returns ``self``.
+        """
+        if other.count == 0:
+            return self
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        n_self, n_other = self.count, other.count
+        self.count = n_self + n_other
+        if len(self._samples) + len(other._samples) <= self.capacity:
+            self._samples.extend(other._samples)
+            return self
+        ours, theirs = list(self._samples), list(other._samples)
+        weight_self = n_self / len(ours) if ours else 0.0
+        weight_other = n_other / len(theirs) if theirs else 0.0
+        mass_self, mass_other = float(n_self), float(n_other)
+        merged: list[float] = []
+        while len(merged) < self.capacity and (ours or theirs):
+            take_self = bool(ours) and (
+                not theirs
+                or self._rng.random() * (mass_self + mass_other) < mass_self
+            )
+            if take_self:
+                merged.append(ours.pop(self._rng.randrange(len(ours))))
+                mass_self = max(mass_self - weight_self, 0.0)
+            else:
+                merged.append(theirs.pop(self._rng.randrange(len(theirs))))
+                mass_other = max(mass_other - weight_other, 0.0)
+        self._samples = merged
+        return self
+
     # ------------------------------------------------------------- queries
 
     @property

@@ -29,11 +29,13 @@ engine ran before the seam existed, so it *is* today's behaviour.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.profiler import NULL_PROFILER
 from ..obs.tracer import NULL_TRACER
 from ..storage.io_manager import IOManager
 from ..storage.shuffle import ShuffledTable
@@ -68,6 +70,11 @@ class CountSource:
     num_groups: int
     row_filter: np.ndarray | None
     io: IOManager
+    #: Per-job profiler the backend records its counting kernels into —
+    #: the engine threads its own profiler here, so kernel effort is
+    #: attributed to the job even on a backend shared across tenants.
+    #: Defaults to the shared no-op (one branch on the hot path).
+    profiler: object = NULL_PROFILER
 
 
 class ExecutionBackend(ABC):
@@ -85,6 +92,17 @@ class ExecutionBackend(ABC):
     def set_tracer(self, tracer) -> None:
         """Attach a :class:`~repro.obs.Tracer` (or ``None`` to detach)."""
         self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    #: Deterministic hot-path counters for work without a per-job
+    #: :class:`CountSource` (exact table passes); window counting records
+    #: into ``source.profiler`` instead.  Same zero-overhead default and
+    #: discipline as tracing: profiling observes around the kernels, never
+    #: inside the arithmetic.
+    profiler = NULL_PROFILER
+
+    def set_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.obs.Profiler` (or ``None`` to detach)."""
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     # ---------------------------------------------------------- algorithm level
 
@@ -131,12 +149,23 @@ class ExecutionBackend(ABC):
         merge, with byte-identical results (exact integer sums over a
         disjoint row partition).
         """
+        profiler = self.profiler
+        started = time.perf_counter_ns() if profiler.enabled else 0
         z = table.column(z_name)
         x = table.column(x_name)
         if row_filter is not None:
             z = z[row_filter]
             x = x[row_filter]
-        return count_pairs(z, x, num_candidates, num_groups)
+        counts = count_pairs(z, x, num_candidates, num_groups)
+        if profiler.enabled:
+            profiler.record_kernel(
+                "serial.count_table",
+                float(time.perf_counter_ns() - started),
+                rows=int(counts.sum()),
+                nbytes=int(z.nbytes + x.nbytes),
+                bincounts=1,
+            )
+        return counts
 
     # --------------------------------------------------------------- lifecycle
 
@@ -171,6 +200,8 @@ class SerialBackend(ExecutionBackend):
     def count_blocks(
         self, source: CountSource, blocks: np.ndarray
     ) -> tuple[np.ndarray, float]:
+        profiler = source.profiler
+        started = time.perf_counter_ns() if profiler.enabled else 0
         read = source.io.read_blocks(blocks, (source.z_name, source.x_name))
         z = read.columns[source.z_name]
         x = read.columns[source.x_name]
@@ -180,4 +211,13 @@ class SerialBackend(ExecutionBackend):
             z = z[keep]
             x = x[keep]
         counts = count_pairs(z, x, source.num_candidates, source.num_groups)
+        if profiler.enabled:
+            profiler.record_kernel(
+                "serial.count",
+                float(time.perf_counter_ns() - started),
+                rows=int(counts.sum()),
+                blocks=int(blocks.size),
+                nbytes=int(z.nbytes + x.nbytes),
+                bincounts=1,
+            )
         return counts, read.cost_ns

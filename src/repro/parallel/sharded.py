@@ -185,15 +185,29 @@ class ShardedBackend(ExecutionBackend):
                 self.tracer.event(
                     "backend.inline", backend=self.name, rows=total_rows
                 )
+            profiler = source.profiler
+            started = time.perf_counter_ns() if profiler.enabled else 0
+            z = source.shuffled.table.column(source.z_name)
+            x = source.shuffled.table.column(source.x_name)
             counts = count_shard(
-                source.shuffled.table.column(source.z_name),
-                source.shuffled.table.column(source.x_name),
+                z,
+                x,
                 blocks,
                 layout,
                 source.num_candidates,
                 source.num_groups,
                 source.row_filter,
             )
+            if profiler.enabled:
+                counted = int(counts.sum())
+                profiler.record_kernel(
+                    "sharded.inline",
+                    float(time.perf_counter_ns() - started),
+                    rows=counted,
+                    blocks=int(blocks.size),
+                    nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                    bincounts=1,
+                )
             return counts, cost
         shards = self.planner.plan(blocks, layout)
         pool = self.pool
@@ -242,6 +256,24 @@ class ShardedBackend(ExecutionBackend):
             )
         else:
             results = pool.run(tasks)
+        profiler = source.profiler
+        if profiler.enabled:
+            # Worker-side kernel nanoseconds (ShardResult.elapsed_ns), not
+            # the coordinator's wait — IPC/queueing shows up in the trace
+            # span instead, so the two views stay distinguishable.
+            counted = sum(result.rows for result in results)
+            itemsize = (
+                source.shuffled.table.column(source.z_name).dtype.itemsize
+                + source.shuffled.table.column(source.x_name).dtype.itemsize
+            )
+            profiler.record_kernel(
+                "sharded.window",
+                float(sum(result.elapsed_ns for result in results)),
+                rows=counted,
+                blocks=int(blocks.size),
+                nbytes=counted * itemsize,
+                bincounts=len(tasks),
+            )
         merger = ShardMerger(source.num_candidates, source.num_groups)
         return merger.merge(results), cost
 
@@ -327,6 +359,20 @@ class ShardedBackend(ExecutionBackend):
             )
         else:
             results = pool.run(tasks)
+        if self.profiler.enabled:
+            counted = sum(result.rows for result in results)
+            itemsize = (
+                table.column(z_name).dtype.itemsize
+                + table.column(x_name).dtype.itemsize
+            )
+            self.profiler.record_kernel(
+                "sharded.table",
+                float(sum(result.elapsed_ns for result in results)),
+                rows=counted,
+                blocks=int(layout.num_blocks),
+                nbytes=counted * itemsize,
+                bincounts=len(tasks),
+            )
         merger = ShardMerger(num_candidates, num_groups)
         return merger.merge(results)
 

@@ -96,6 +96,11 @@ class SharedMemoryStore:
     def num_segments(self) -> int:
         return len(self._segments)
 
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all live segments (health/`repro top`)."""
+        return sum(int(array.nbytes) for _, _, array in self._segments.values())
+
     def segment_names(self) -> list[str]:
         """Names of all live segments (for leak checks in tests)."""
         return [ref.name for _, ref, _ in self._segments.values()]

@@ -43,6 +43,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..obs.profiler import NULL_PROFILER
 from ..storage.blocks import BlockLayout
 from .backend import CountSource, ExecutionBackend
 from .merge import ShardMerger
@@ -117,6 +118,7 @@ class ThreadPoolBackend(ExecutionBackend):
         num_groups: int,
         row_filter: np.ndarray | None,
         span_name: str = "backend.window",
+        profiler=NULL_PROFILER,
     ) -> np.ndarray:
         """Plan shards, count each on the executor, merge exactly.
 
@@ -126,6 +128,7 @@ class ThreadPoolBackend(ExecutionBackend):
         """
         traced = self.tracer.enabled
         wall0 = float(time.monotonic_ns()) if traced else 0.0
+        started = time.perf_counter_ns() if profiler.enabled else 0
         shards = self.planner.plan(blocks, layout)
         with self._lock:
             base_id = self.shard_tasks
@@ -156,6 +159,16 @@ class ThreadPoolBackend(ExecutionBackend):
             )
         merger = ShardMerger(num_candidates, num_groups)
         merged = merger.merge(results)
+        if profiler.enabled:
+            counted = sum(result.rows for result in results)
+            profiler.record_kernel(
+                "threads.shards",
+                float(time.perf_counter_ns() - started),
+                rows=counted,
+                blocks=int(blocks.size),
+                nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                bincounts=len(shards),
+            )
         if traced:
             self.tracer.span_at(
                 span_name,
@@ -176,10 +189,12 @@ class ThreadPoolBackend(ExecutionBackend):
         total_rows = int(layout.rows_per_block(blocks).sum())
         z = source.shuffled.table.column(source.z_name)
         x = source.shuffled.table.column(source.x_name)
+        profiler = source.profiler
         if total_rows < max(1, self.n_workers * self.min_shard_rows):
             # Inline fallback: same kernel, same rows, no executor hop.
             with self._lock:
                 self.inline_windows += 1
+            started = time.perf_counter_ns() if profiler.enabled else 0
             counts = count_shard(
                 z,
                 x,
@@ -189,6 +204,16 @@ class ThreadPoolBackend(ExecutionBackend):
                 source.num_groups,
                 source.row_filter,
             )
+            if profiler.enabled:
+                counted = int(counts.sum())
+                profiler.record_kernel(
+                    "threads.inline",
+                    float(time.perf_counter_ns() - started),
+                    rows=counted,
+                    blocks=int(blocks.size),
+                    nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                    bincounts=1,
+                )
             return counts, cost
         counts = self._count_sharded(
             z,
@@ -198,6 +223,7 @@ class ThreadPoolBackend(ExecutionBackend):
             source.num_candidates,
             source.num_groups,
             source.row_filter,
+            profiler=profiler,
         )
         return counts, cost
 
@@ -234,6 +260,7 @@ class ThreadPoolBackend(ExecutionBackend):
             num_groups,
             row_filter,
             span_name="backend.table",
+            profiler=self.profiler,
         )
 
     # --------------------------------------------------------------- lifecycle

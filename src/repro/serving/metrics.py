@@ -85,6 +85,13 @@ class ServingMetrics:
         # tenant -> {status -> count} and latency sketch (ns).
         self._tenant_counts: dict[str, dict[str, int]] = {}
         self._tenant_latency: dict[str, QuantileSketch] = {}
+        # Calibration: Eq. 1-estimated vs observed stage cost, accumulated
+        # from stepper spans (which carry est_ns_before), per stage and per
+        # tenant.  ratio = observed / estimated; 1.0 means the analytic
+        # cost model predicts measured stage time exactly.
+        self._stage_est_ns: dict[str, float] = {}
+        self._tenant_est_ns: dict[str, float] = {}
+        self._tenant_observed_ns: dict[str, float] = {}
 
     # ------------------------------------------------------------- recording
 
@@ -152,6 +159,8 @@ class ServingMetrics:
             return
         attrs = record.attrs
         rows = attrs.get("fresh_rows", attrs.get("rows", 0))
+        est_ns = attrs.get("est_slice_ns")
+        tenant = attrs.get("tenant")
         with self._lock:
             sketch = self._stage_ns.get(stage)
             if sketch is None:
@@ -159,6 +168,22 @@ class ServingMetrics:
             sketch.observe(record.duration_ns)
             if isinstance(rows, (int, float)):
                 self._stage_rows[stage] = self._stage_rows.get(stage, 0) + int(rows)
+            if isinstance(est_ns, (int, float)) and est_ns > 0:
+                # Stepper spans carry the Eq. 1 cost of the slice they ran
+                # (est_slice_ns: delivered rows at sequential-read cost);
+                # fold estimate and observation side by side so the
+                # snapshot exposes observed/estimated calibration.
+                self._stage_est_ns[stage] = (
+                    self._stage_est_ns.get(stage, 0.0) + float(est_ns)
+                )
+                if tenant is not None:
+                    self._tenant_est_ns[tenant] = (
+                        self._tenant_est_ns.get(tenant, 0.0) + float(est_ns)
+                    )
+                    self._tenant_observed_ns[tenant] = (
+                        self._tenant_observed_ns.get(tenant, 0.0)
+                        + record.duration_ns
+                    )
 
     # ------------------------------------------------------------- snapshot
 
@@ -179,19 +204,25 @@ class ServingMetrics:
         """Frozen aggregate view of everything recorded so far."""
         with self._lock:
             p50, p95, p99 = self._latency.percentiles((50, 95, 99))
-            per_stage = {
-                stage: {
+            per_stage = {}
+            for stage, sketch in sorted(self._stage_ns.items()):
+                entry = {
                     "count": sketch.count,
                     "total_ms": sketch.total * 1e-6,
                     "p50_ms": sketch.percentile(50) * 1e-6,
                     "p99_ms": sketch.percentile(99) * 1e-6,
                     "rows": self._stage_rows.get(stage, 0),
                 }
-                for stage, sketch in sorted(self._stage_ns.items())
-            }
+                est_ns = self._stage_est_ns.get(stage)
+                if est_ns:
+                    # Eq. 1 estimate next to the observed stage cost.
+                    entry["est_total_ms"] = est_ns * 1e-6
+                    entry["calibration_ratio"] = sketch.total / est_ns
+                per_stage[stage] = entry
             per_tenant = {}
             for tenant, counts in sorted(self._tenant_counts.items()):
                 sketch = self._tenant_latency.get(tenant)
+                est_ns = self._tenant_est_ns.get(tenant, 0.0)
                 per_tenant[tenant] = {
                     **counts,
                     "p50_latency_ms": (
@@ -199,6 +230,13 @@ class ServingMetrics:
                     ),
                     "mean_latency_ms": (
                         sketch.mean * 1e-6 if sketch is not None else 0.0
+                    ),
+                    # observed/Eq. 1-estimated stage cost; 0.0 until this
+                    # tenant's stepper spans have been observed.
+                    "calibration_ratio": (
+                        self._tenant_observed_ns.get(tenant, 0.0) / est_ns
+                        if est_ns > 0
+                        else 0.0
                     ),
                 }
             return ServingReport(
@@ -217,6 +255,21 @@ class ServingMetrics:
                 per_stage=per_stage,
                 per_tenant=per_tenant,
             )
+
+    def merged_tenant_latency(self) -> QuantileSketch | None:
+        """All tenants' latency sketches merged into one (no re-recording).
+
+        Uses :meth:`QuantileSketch.merge`; ``None`` when no tenant-tagged
+        requests have finalized.  The merged sketch is a fresh object — the
+        per-tenant sketches are read, never mutated.
+        """
+        with self._lock:
+            if not self._tenant_latency:
+                return None
+            merged = QuantileSketch(self._sketch_capacity)
+            for tenant in sorted(self._tenant_latency):
+                merged.merge(self._tenant_latency[tenant])
+            return merged
 
     # ------------------------------------------------------------ exposition
 
@@ -305,4 +358,17 @@ class ServingMetrics:
                         for tenant, sketch in sorted(self._tenant_latency.items())
                     ],
                 )
+            if self._tenant_est_ns:
+                lines.append(
+                    "# HELP repro_tenant_calibration_ratio "
+                    "Observed over Eq. 1-estimated stage cost."
+                )
+                lines.append("# TYPE repro_tenant_calibration_ratio gauge")
+                for tenant in sorted(self._tenant_est_ns):
+                    est = self._tenant_est_ns[tenant]
+                    observed = self._tenant_observed_ns.get(tenant, 0.0)
+                    lines.append(
+                        f'repro_tenant_calibration_ratio{{tenant="{tenant}"}} '
+                        f"{observed / est:.6f}"
+                    )
             return "\n".join(lines) + "\n"

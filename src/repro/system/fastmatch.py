@@ -126,6 +126,7 @@ def make_engine(
     clock: SimulatedClock,
     rng: np.random.Generator,
     backend: ExecutionBackend | None = None,
+    profiler=None,
 ) -> BlockSamplingEngine:
     """Build the block sampling engine for one sampling approach.
 
@@ -156,6 +157,7 @@ def make_engine(
         window_blocks=window,
         row_filter=prepared.row_filter,
         backend=backend,
+        profiler=profiler,
     )
 
 
@@ -194,6 +196,7 @@ def assemble_report(
     partial: bool = False,
     achieved_epsilon: float | None = None,
     achieved_delta: float | None = None,
+    profile: dict | None = None,
 ) -> RunReport:
     """Package one execution's outcome, auditing against the cached truth.
 
@@ -221,6 +224,7 @@ def assemble_report(
         partial=partial,
         achieved_epsilon=achieved_epsilon,
         achieved_delta=achieved_delta,
+        profile=profile,
     )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Iterator
 
+from ..obs.profiler import NULL_PROFILER
 from ..obs.tracer import NULL_TRACER
 from ..parallel import ExecutionBackend, make_backend
 from ..serving.request import UnknownDataset
@@ -83,6 +84,7 @@ class SessionRegistry:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         audit: bool = True,
         tracer=None,
+        profiler=None,
     ) -> None:
         if max_cached_bytes is not None and max_cached_bytes < 1:
             raise ValueError(f"max_cached_bytes must be >= 1, got {max_cached_bytes}")
@@ -96,6 +98,12 @@ class SessionRegistry:
             if self.tracer.clock is None:
                 self.tracer.clock = self.clock
             self.backend.set_tracer(self.tracer)
+        #: Shared hot-path profiler: sessions inherit it (per-job children
+        #: fork from it), and the shared backend's table passes record into
+        #: it directly.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        if self.profiler.enabled:
+            self.backend.set_profiler(self.profiler)
         self.max_cached_bytes = max_cached_bytes
         self.block_size = block_size
         self.cost_model = cost_model
@@ -129,6 +137,7 @@ class SessionRegistry:
         session_kwargs.setdefault("cost_model", self.cost_model)
         session_kwargs.setdefault("audit", self.audit)
         session_kwargs.setdefault("tracer", self.tracer)
+        session_kwargs.setdefault("profiler", self.profiler)
         session = MatchSession(
             table,
             backend=self.backend,

@@ -40,6 +40,10 @@ class RunReport:
     partial: bool = False
     achieved_epsilon: float | None = None
     achieved_delta: float | None = None
+    #: Hot-path profile of the run (:meth:`ProfileSnapshot.to_dict` —
+    #: totals/stages/kernels), attached when the session ran with a
+    #: :class:`~repro.obs.Profiler`; ``None`` when profiling was off.
+    profile: dict | None = None
 
     @property
     def elapsed_seconds(self) -> float:

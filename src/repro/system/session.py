@@ -39,6 +39,7 @@ from ..bitmap.builder import build_bitmap_index
 from ..core.config import HistSimConfig
 from ..core.histsim import HistSim, HistSimStepper
 from ..core.target import resolve_target
+from ..obs.profiler import NULL_PROFILER
 from ..obs.tracer import NULL_TRACER
 from ..parallel import ExecutionBackend, make_backend
 from ..query.executor import exact_candidate_counts
@@ -120,6 +121,7 @@ class _StepperJob:
         backend: ExecutionBackend,
         tracer=NULL_TRACER,
         tenant: str | None = None,
+        profiler=NULL_PROFILER,
     ) -> None:
         self.name = name
         self.approach = approach
@@ -128,6 +130,7 @@ class _StepperJob:
         self.clock = clock
         self.tracer = tracer
         self.tenant = tenant
+        self.profiler = profiler
         #: Stage the most recent step executed in ("stage1"/"stage2"/
         #: "stage3"); the engine stamps it on its ``engine.step`` spans.
         self.last_stage: str | None = None
@@ -135,7 +138,8 @@ class _StepperJob:
         self._audit = audit
         rng = np.random.default_rng(seed)
         self.engine = make_engine(
-            prepared, approach, config, cost_model, clock, rng, backend
+            prepared, approach, config, cost_model, clock, rng, backend,
+            profiler=profiler,
         )
         stats_engine = StatsEngine(cost_model, clock)
         algorithm = HistSim(
@@ -149,7 +153,8 @@ class _StepperJob:
         return self.stepper.done
 
     def step(self) -> None:
-        if not self.tracer.enabled:
+        profiler = self.profiler
+        if not self.tracer.enabled and not profiler.enabled:
             self.stepper.step()
             return
         # The calibration signal: the lookahead estimate before and after
@@ -159,17 +164,33 @@ class _StepperJob:
         stepper = self.stepper
         est_before = stepper.estimated_remaining_rows()
         stage = stepper.stage_name
-        with self.tracer.span(
-            f"stepper.{stage}", clock=self.clock, name=self.name, tenant=self.tenant
-        ) as span:
-            report = stepper.step()
-            span.set(
-                round=report.round_index,
-                fresh_rows=report.fresh_rows,
-                done=report.done,
-                est_rows_before=est_before,
-                est_rows_after=stepper.estimated_remaining_rows(),
-                est_ns_before=est_before * self._cost_model.tuple_read_ns,
+        started_ns = self.clock.elapsed_ns
+        if self.tracer.enabled:
+            with self.tracer.span(
+                f"stepper.{stage}", clock=self.clock, name=self.name,
+                tenant=self.tenant,
+            ) as span:
+                with profiler.stage(stage):
+                    report = stepper.step()
+                span.set(
+                    round=report.round_index,
+                    fresh_rows=report.fresh_rows,
+                    done=report.done,
+                    est_rows_before=est_before,
+                    est_rows_after=stepper.estimated_remaining_rows(),
+                    est_ns_before=est_before * self._cost_model.tuple_read_ns,
+                    # Eq. 1 sequential-read cost of the *delivered* slice —
+                    # what ServingMetrics calibrates against observed time.
+                    est_slice_ns=report.fresh_rows * self._cost_model.tuple_read_ns,
+                )
+        else:
+            with profiler.stage(stage):
+                report = stepper.step()
+        if profiler.enabled:
+            # Same clock endpoints as the span above (the clock only moves
+            # on charges inside the step), so stage sums match trace sums.
+            profiler.record_stage(
+                stage, self.clock.elapsed_ns - started_ns, rows=report.fresh_rows
             )
         self.last_stage = report.stage
 
@@ -184,6 +205,11 @@ class _StepperJob:
         wants — a deadline even this cannot meet is certainly doomed."""
         return self.estimated_remaining_rows() * self._cost_model.tuple_read_ns
 
+    def _profile_dict(self) -> dict | None:
+        if not self.profiler.enabled:
+            return None
+        return self.profiler.snapshot().to_dict()
+
     def finish(self, service_ns: float) -> RunReport:
         return assemble_report(
             self.prepared,
@@ -195,6 +221,7 @@ class _StepperJob:
             audit=self._audit,
             query_name=self.name,
             backend=self.engine.backend.name,
+            profile=self._profile_dict(),
         )
 
     def finish_partial(self, service_ns: float) -> RunReport:
@@ -214,6 +241,7 @@ class _StepperJob:
             partial=not self.stepper.done,
             achieved_epsilon=self.stepper.achieved_epsilon(result.matching),
             achieved_delta=self.config.delta,
+            profile=self._profile_dict(),
         )
 
 
@@ -231,6 +259,7 @@ class _ScanJob:
         backend: ExecutionBackend | None = None,
         tracer=NULL_TRACER,
         tenant: str | None = None,
+        profiler=NULL_PROFILER,
     ) -> None:
         self.name = name
         self.approach = "scan"
@@ -240,6 +269,7 @@ class _ScanJob:
         self.clock = clock
         self.tracer = tracer
         self.tenant = tenant
+        self.profiler = profiler
         self.last_stage: str | None = None
         self._audit = audit
         self._backend = backend
@@ -258,6 +288,8 @@ class _ScanJob:
         return self.estimated_remaining_rows() * self.cost_model.tuple_read_ns
 
     def step(self) -> None:
+        profiler = self.profiler
+        started_ns = self.clock.elapsed_ns if profiler.enabled else 0.0
         with self.tracer.span(
             "stepper.scan",
             clock=self.clock,
@@ -265,15 +297,22 @@ class _ScanJob:
             tenant=self.tenant,
             rows=self.prepared.shuffled.num_rows,
         ):
-            self._result, _ = run_scan(
-                self.prepared.shuffled,
-                self.prepared.query,
-                self.prepared.target,
-                self.config.k,
-                self.config.sigma,
-                self.cost_model,
-                self.clock,
-                backend=self._backend,
+            with profiler.stage("scan"):
+                self._result, _ = run_scan(
+                    self.prepared.shuffled,
+                    self.prepared.query,
+                    self.prepared.target,
+                    self.config.k,
+                    self.config.sigma,
+                    self.cost_model,
+                    self.clock,
+                    backend=self._backend,
+                )
+        if profiler.enabled:
+            profiler.record_stage(
+                "scan",
+                self.clock.elapsed_ns - started_ns,
+                rows=self.prepared.shuffled.num_rows,
             )
         self.last_stage = "scan"
 
@@ -288,6 +327,11 @@ class _ScanJob:
             audit=self._audit,
             query_name=self.name,
             backend=self._backend.name if self._backend is not None else "serial",
+            profile=(
+                self.profiler.snapshot().to_dict()
+                if self.profiler.enabled
+                else None
+            ),
         )
 
 
@@ -370,6 +414,7 @@ class MatchSession:
         max_cached_bytes: int | None = None,
         cache_governor=None,
         tracer=None,
+        profiler=None,
     ) -> None:
         if max_cached_queries is not None and max_cached_queries < 1:
             raise ValueError(
@@ -388,11 +433,17 @@ class MatchSession:
         #: (when the session owns its backend) backend fan-out windows.
         #: Front doors constructed over this session pick it up.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Hot-path profiler: per-job children fork from it (per-report
+        #: profiles) while it keeps the session-wide aggregate.  ``None``
+        #: (default) keeps every hook on the zero-overhead no-op.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: Tenant key for per-tenant metrics; a SessionRegistry stamps the
         #: dataset key here, standalone sessions stay anonymous.
         self.tenant: str | None = None
         if self.tracer.enabled and self._owns_backend:
             self.backend.set_tracer(self.tracer)
+        if self.profiler.enabled and self._owns_backend:
+            self.backend.set_profiler(self.profiler)
         self.scheduler = BatchScheduler(self.clock, backend=self.backend, policy=policy)
         self.cache_stats = CacheStats()
         self.max_cached_queries = max_cached_queries
@@ -682,12 +733,16 @@ class MatchSession:
         config = self._make_config(query, config)
         job_name = name or query.name or f"query-{self._submitted}"
         self._submitted += 1
+        # Per-job child profiler: the job's RunReport carries its own
+        # profile while records still roll up into the session aggregate.
+        job_profiler = self.profiler.fork()
         if approach == "scan":
             return _ScanJob(
                 job_name, prepared, config, self.cost_model, self.clock, self.audit,
                 backend=self.backend,
                 tracer=self.tracer,
                 tenant=self.tenant,
+                profiler=job_profiler,
             )
         return _StepperJob(
             job_name,
@@ -702,6 +757,7 @@ class MatchSession:
             self.backend,
             tracer=self.tracer,
             tenant=self.tenant,
+            profiler=job_profiler,
         )
 
     def job_for_request(self, request, default_max_step_rows: int | None = None):
