@@ -1,0 +1,210 @@
+"""Counting-kernel microbenchmark: legacy vs narrow vs pair-code-cached.
+
+Times the window-counting hot path — the gather + filter + bincount that
+dominates sampling cost — through each registered kernel on the same
+shuffled table and the same window schedule:
+
+- ``classic`` — the legacy serial arithmetic (row-index gather, int64
+  upcasts, int64 pair codes);
+- ``narrow`` — contiguous-run slice gather + dtype-narrowed pair codes;
+- ``fused`` — slice-take + bincount over a prepared pair-code column
+  (its one-off build cost is measured and reported separately, as the
+  session's artifact cache amortizes it across queries).
+
+The window schedule mixes the geometries the engine actually produces:
+contiguous windows (a full sequential pass), scattered windows (every
+other block, the AnyActive selection shape), and a filtered pass.  Every
+kernel's summed counts are asserted byte-identical to classic's.
+
+Wall timings carry the ``wall_`` prefix in the history record (same-host
+gating only); the bytes-moved reduction rates are deterministic functions
+of the configuration, so they gate everywhere — a kernel regression that
+starts copying more shows up on any host.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_kernels.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_kernels.py --tiny  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from bench_parallel_scaling import (
+    GENERATOR_CANDIDATES,
+    GENERATOR_GROUPS,
+    generator_table,
+)
+from common import RESULTS_DIR, format_table, save_report
+from repro.obs.bench_history import BenchHistory, normalize_bench_kernels
+from repro.parallel import build_pair_codes, count_window
+from repro.storage.shuffle import shuffle_table
+
+KERNEL_ORDER = ("classic", "narrow", "fused")
+
+
+def window_schedule(num_blocks: int, window_blocks: int) -> list[np.ndarray]:
+    """The mixed window geometries one benchmark pass walks."""
+    windows = []
+    # Contiguous pass: every block, window_blocks at a time (ScanAll shape).
+    for start in range(0, num_blocks, window_blocks):
+        windows.append(
+            np.arange(start, min(start + window_blocks, num_blocks),
+                      dtype=np.int64)
+        )
+    # Scattered pass: every other block (the block-selection shape, where
+    # run-gather degenerates to single-block slices).
+    for start in range(0, num_blocks, 2 * window_blocks):
+        windows.append(
+            np.arange(start, min(start + 2 * window_blocks, num_blocks), 2,
+                      dtype=np.int64)
+        )
+    return windows
+
+
+def sweep(z, x, layout, c, g, windows, kernel, codes=None, row_filter=None):
+    """All windows through one kernel; returns (counts, bytes_moved)."""
+    total = np.zeros((c, g), dtype=np.int64)
+    moved = 0
+    for blocks in windows:
+        counts, window_moved = count_window(
+            z, x, blocks, layout, c, g,
+            row_filter=row_filter, codes=codes, kernel=kernel,
+        )
+        total += counts
+        moved += window_moved
+    return total, moved
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=4_000_000,
+                        help="generator dataset rows (default 4M)")
+    parser.add_argument("--block-size", type=int, default=4096,
+                        help="tuples per block (throughput regime)")
+    parser.add_argument("--window-blocks", type=int, default=64,
+                        help="blocks per counting window")
+    parser.add_argument("--passes", type=int, default=3,
+                        help="timed passes per kernel (best-of)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: small data, one pass")
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        args.rows = 120_000
+        args.block_size = 512
+        args.window_blocks = 16
+        args.passes = 3  # best-of-3: single tiny passes are too noisy to gate
+
+    table = generator_table(args.rows, seed=args.seed)
+    shuffled = shuffle_table(
+        table, args.block_size, np.random.default_rng(args.seed)
+    )
+    layout = shuffled.layout
+    z = shuffled.table.column("z")
+    x = shuffled.table.column("x")
+    c, g = GENERATOR_CANDIDATES, GENERATOR_GROUPS
+    windows = window_schedule(layout.num_blocks, args.window_blocks)
+    # A deterministic ~60%-selective filter, applied on a second sweep so
+    # both the unfiltered and filtered arithmetic are in the timing.
+    row_filter = (
+        np.random.default_rng(args.seed + 1).random(shuffled.num_rows) < 0.6
+    )
+
+    build_start = time.perf_counter()
+    codes = build_pair_codes(z, x, c, g)
+    codes_build_seconds = time.perf_counter() - build_start
+
+    results_by_kernel: dict[str, dict] = {}
+    reference = None
+    for kernel in KERNEL_ORDER:
+        kernel_codes = codes if kernel == "fused" else None
+        seconds = []
+        counts = moved = None
+        for _ in range(args.passes):
+            start = time.perf_counter()
+            plain, plain_moved = sweep(
+                z, x, layout, c, g, windows, kernel, codes=kernel_codes
+            )
+            filtered, filtered_moved = sweep(
+                z, x, layout, c, g, windows, kernel, codes=kernel_codes,
+                row_filter=row_filter,
+            )
+            seconds.append(time.perf_counter() - start)
+            counts = plain + filtered
+            moved = plain_moved + filtered_moved
+        if reference is None:
+            reference = counts
+        results_by_kernel[kernel] = {
+            "seconds": min(seconds),
+            "bytes_moved": int(moved),
+            "identical_to_classic": bool(np.array_equal(counts, reference)),
+        }
+
+    classic = results_by_kernel["classic"]
+    for kernel, entry in results_by_kernel.items():
+        entry["speedup"] = (
+            classic["seconds"] / entry["seconds"]
+            if entry["seconds"] > 0 else float("inf")
+        )
+        entry["bytes_moved_reduction"] = (
+            1.0 - entry["bytes_moved"] / classic["bytes_moved"]
+            if classic["bytes_moved"] else 0.0
+        )
+
+    results = {
+        "tiny": args.tiny,
+        "rows": shuffled.num_rows,
+        "blocks": layout.num_blocks,
+        "block_size": args.block_size,
+        "window_blocks": args.window_blocks,
+        "windows": len(windows),
+        "passes": args.passes,
+        "candidates": c,
+        "groups": g,
+        "code_dtype": str(codes.dtype),
+        "codes_build_seconds": codes_build_seconds,
+        "cpu_count": os.cpu_count(),
+        "kernels": results_by_kernel,
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_kernels.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    BenchHistory(RESULTS_DIR / "history").append(
+        normalize_bench_kernels(results, note="tiny" if args.tiny else "")
+    )
+
+    rows_out = [
+        [kernel, f"{entry['seconds']:.4f}", f"{entry['speedup']:.2f}x",
+         f"{entry['bytes_moved'] / 2**20:.2f}",
+         f"{entry['bytes_moved_reduction'] * 100:.1f}%",
+         "yes" if entry["identical_to_classic"] else "NO"]
+        for kernel, entry in results_by_kernel.items()
+    ]
+    table_text = format_table(
+        f"Counting kernels — {shuffled.num_rows:,} rows, "
+        f"{len(windows)} windows x {args.passes} passes "
+        f"(codes: {codes.dtype}, built in {codes_build_seconds:.4f}s)",
+        ["kernel", "best s", "speedup", "MiB moved", "moved vs classic",
+         "identical"],
+        rows_out,
+    )
+    save_report("bench_kernels", table_text)
+
+    if not all(e["identical_to_classic"] for e in results_by_kernel.values()):
+        print("ERROR: kernel counts diverged from classic")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

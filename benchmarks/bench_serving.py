@@ -429,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
                              "span export to this path, validating the "
                              "schema and the queue+step tiling invariant")
     args = parser.parse_args(argv)
-    args.backend, args.workers = resolve_backend_args(args)
+    args.backend, args.workers, args.cpu_affinity = resolve_backend_args(args)
     if args.max_concurrent_steps < 1:
         parser.error("--max-concurrent-steps must be >= 1")
 
@@ -625,6 +625,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"p99 ({inline_p99:.1f} ms) on a multi-core host"
             )
             return 1
+        if args.backend != "serial" and args.max_concurrent_steps > 1:
+            # Speedup gate: with a GIL-releasing backend and multiple step
+            # slots on real cores, concurrency must actually buy something —
+            # either tail latency or makespan improves.  A run where both
+            # speedups sit at or below 1.0x means offloading broke.
+            best = max(concurrent["p99_speedup"], concurrent["makespan_speedup"])
+            if best <= 1.0:
+                print(
+                    "ERROR: no measured speedup from "
+                    f"{args.max_concurrent_steps} step slots on "
+                    f"{os.cpu_count()} cores (p99 "
+                    f"{concurrent['p99_speedup']:.2f}x, makespan "
+                    f"{concurrent['makespan_speedup']:.2f}x) — "
+                    "concurrent offloading is not helping"
+                )
+                return 1
     return 0
 
 

@@ -75,7 +75,13 @@ from .obs.bench_history import (
     BenchRecord,
     check_regression,
 )
-from .parallel import BACKENDS, WORKER_BACKENDS, make_backend
+from .parallel import (
+    AFFINITY_POLICIES,
+    BACKENDS,
+    KERNEL_SPECS,
+    WORKER_BACKENDS,
+    make_backend,
+)
 from .serving import POLICIES, QueryRequest
 from .system import APPROACHES, MatchSession, SessionRegistry, run_approach
 from .system.visualize import render_result
@@ -90,25 +96,38 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def resolve_backend_args(args: argparse.Namespace) -> tuple[str, int | None]:
-    """Normalize ``(--backend, --workers)`` — the one backend-spec rule.
+def resolve_backend_args(
+    args: argparse.Namespace,
+) -> tuple[str, int | None, str | None]:
+    """Normalize ``(--backend, --workers, --cpu-affinity)`` — the one
+    backend-spec rule.
 
     Every subcommand (single run, batch, serve, serve --async) routes its
     backend choice through here: worker-carrying backends (``sharded``,
-    ``threads``) keep ``--workers``; ``serial`` with ``--workers`` is
-    ignored-with-warning rather than silently accepted (or fatally
-    rejected) — scripted callers flipping ``--backend`` should not crash,
-    but must be told their parallelism knob did nothing.
+    ``threads``) keep ``--workers`` and ``--cpu-affinity``; ``serial``
+    with either knob is ignored-with-warning rather than silently accepted
+    (or fatally rejected) — scripted callers flipping ``--backend`` should
+    not crash, but must be told their parallelism knob did nothing.
     """
     backend = getattr(args, "backend", "serial")
     workers = getattr(args, "workers", None)
+    cpu_affinity = getattr(args, "cpu_affinity", None)
+    if cpu_affinity == "none":
+        cpu_affinity = None
     if workers is not None and backend not in WORKER_BACKENDS:
         print(
             f"warning: --workers {workers} is ignored with --backend {backend}",
             file=sys.stderr,
         )
         workers = None
-    return backend, workers
+    if cpu_affinity is not None and backend not in WORKER_BACKENDS:
+        print(
+            f"warning: --cpu-affinity {cpu_affinity} is ignored with "
+            f"--backend {backend}",
+            file=sys.stderr,
+        )
+        cpu_affinity = None
+    return backend, workers, cpu_affinity
 
 
 def _add_batch_arguments(sub: argparse.ArgumentParser, queries_required: bool = True) -> None:
@@ -144,6 +163,15 @@ def _add_batch_arguments(sub: argparse.ArgumentParser, queries_required: bool = 
         help="workers for --backend sharded (processes) or threads "
              "(default: CPU count)",
     )
+    sub.add_argument(
+        "--kernel", choices=KERNEL_SPECS, default=argparse.SUPPRESS,
+        help="counting kernel (default: auto; all byte-identical)",
+    )
+    sub.add_argument(
+        "--cpu-affinity", choices=AFFINITY_POLICIES, default=argparse.SUPPRESS,
+        help="pin workers to CPUs for --backend sharded/threads "
+             "(default: none)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=None,
         help="workers for --backend sharded (processes) or threads "
              "(default: CPU count)",
+    )
+    parser.add_argument(
+        "--kernel", choices=KERNEL_SPECS, default="auto",
+        help="counting kernel: 'auto' picks the narrowest exact path, "
+             "'fused' adds a cached pair-code column (session layer), "
+             "'narrow'/'classic' force a specific path — all choices "
+             "produce byte-identical answers (default: auto)",
+    )
+    parser.add_argument(
+        "--cpu-affinity", choices=AFFINITY_POLICIES, default=None,
+        help="worker CPU placement for --backend sharded/threads: 'spread' "
+             "distributes workers across the CPU set, 'compact' packs them "
+             "onto the lowest CPUs; no-op where unsupported (default: none)",
     )
 
     subparsers = parser.add_subparsers(dest="command")
@@ -300,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for --backend sharded/threads",
     )
     profile.add_argument(
+        "--kernel", choices=KERNEL_SPECS, default=argparse.SUPPRESS,
+        help="counting kernel (default: auto; all byte-identical)",
+    )
+    profile.add_argument(
+        "--cpu-affinity", choices=AFFINITY_POLICIES, default=argparse.SUPPRESS,
+        help="pin workers to CPUs for --backend sharded/threads",
+    )
+    profile.add_argument(
         "--wall", action="store_true",
         help="also sample wall-clock stacks on a background thread and "
              "print collapsed flamegraph lines",
@@ -404,7 +453,7 @@ def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         stage1_samples=min(50_000, max(1, args.rows // 20)),
     )
 
-    backend = make_backend(args.backend, args.workers)
+    backend = make_backend(args.backend, args.workers, args.cpu_affinity)
     try:
         if args.approach == "scan":
             # The report IS the baseline; count it through the chosen
@@ -414,7 +463,8 @@ def _run_single(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         else:
             scan = run_approach(prepared, "scan", config, seed=args.seed)
             report = run_approach(
-                prepared, args.approach, config, seed=args.seed, backend=backend
+                prepared, args.approach, config, seed=args.seed,
+                backend=backend, kernel=args.kernel,
             )
     finally:
         backend.close()
@@ -473,7 +523,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         # One session (and thus one worker pool / shared-memory store for the
         # sharded backend) serves the dataset's whole batch.
         with MatchSession(
-            dataset.table, backend=args.backend, workers=args.workers
+            dataset.table, backend=args.backend, workers=args.workers,
+            kernel=args.kernel, cpu_affinity=args.cpu_affinity,
         ) as session:
             for query_name in query_names:
                 _, query = workload_query(query_name)
@@ -673,7 +724,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     # --datasets tenants are pre-loaded even when --queries/--trace name
     # only a subset (the flag promises the tenants exist behind the door).
     registry = SessionRegistry(
-        backend=args.backend, workers=args.workers, tracer=tracer
+        backend=args.backend, workers=args.workers, kernel=args.kernel,
+        cpu_affinity=args.cpu_affinity, tracer=tracer,
     )
     dataset_rows: dict[str, int] = {}
     tenants = dict.fromkeys(
@@ -800,6 +852,7 @@ def _run_profile(args: argparse.Namespace) -> int:
     wall = WallProfiler(args.wall_interval_ms * 1e-3) if args.wall else None
     with MatchSession(
         dataset.table, backend=args.backend, workers=args.workers,
+        kernel=args.kernel, cpu_affinity=args.cpu_affinity,
         profiler=profiler, tracer=tracer,
     ) as session:
         if wall is not None:
@@ -830,6 +883,7 @@ def _run_profile(args: argparse.Namespace) -> int:
             "query": args.query,
             "approach": args.approach,
             "backend": report.backend,
+            "kernel": args.kernel,
             "rows": dataset.table.num_rows,
             "elapsed_ns": report.elapsed_ns,
             "steps": outcome.steps,
@@ -842,7 +896,8 @@ def _run_profile(args: argparse.Namespace) -> int:
         return 0
 
     print(f"query      : {args.query}  (approach={args.approach}, "
-          f"backend={report.backend}, rows={dataset.table.num_rows:,})")
+          f"backend={report.backend}, kernel={args.kernel}, "
+          f"rows={dataset.table.num_rows:,})")
     print(f"latency    : {report.elapsed_seconds * 1e3:.2f} ms simulated, "
           f"{outcome.steps} steps")
     stages = profile.get("stages", {})
@@ -1066,7 +1121,7 @@ def _run_bench_history(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.backend, args.workers = resolve_backend_args(args)
+    args.backend, args.workers, args.cpu_affinity = resolve_backend_args(args)
 
     command = getattr(args, "command", None)
     if command == "batch":

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitmap.density_map import DensityMap
+from ..parallel.kernels import count_pairs
 from ..query.predicate import Predicate
 from ..storage.table import ColumnTable
 
@@ -25,14 +26,18 @@ __all__ = ["PredicateCandidateSampler", "predicate_block_counts", "exact_predica
 def exact_predicate_counts(
     table: ColumnTable, candidates: list[Predicate], grouping_attribute: str
 ) -> np.ndarray:
-    """Ground-truth histogram matrix for predicate-defined candidates."""
-    x = table.column(grouping_attribute).astype(np.int64, copy=False)
+    """Ground-truth histogram matrix for predicate-defined candidates.
+
+    One kernel call instead of a per-candidate Python loop: every
+    ``(candidate, matching row)`` membership pair becomes one pair code, so
+    a single bincount produces the whole matrix (tuples satisfying several
+    candidates contribute once per candidate, exactly as the loop did).
+    """
+    x = table.column(grouping_attribute)
     num_groups = table.cardinality(grouping_attribute)
-    out = np.zeros((len(candidates), num_groups), dtype=np.int64)
-    for row, predicate in enumerate(candidates):
-        mask = predicate.mask(table)
-        out[row] = np.bincount(x[mask], minlength=num_groups)
-    return out
+    membership = np.stack([predicate.mask(table) for predicate in candidates])
+    cand, rows = np.nonzero(membership)
+    return count_pairs(cand, x[rows], len(candidates), num_groups)
 
 
 def predicate_block_counts(
@@ -71,7 +76,7 @@ class PredicateCandidateSampler:
         self._num_groups = table.cardinality(grouping_attribute)
         self._num_candidates = len(candidates)
         order = rng.permutation(table.num_rows)
-        self._x = table.column(grouping_attribute).astype(np.int64)[order]
+        self._x = table.column(grouping_attribute)[order]
         # Row-membership matrix: candidates are typically few (hand-written
         # predicates), so a dense boolean matrix is the simple right choice.
         self._membership = np.stack(
@@ -107,11 +112,10 @@ class PredicateCandidateSampler:
     def _deliver(self, start: int, stop: int) -> np.ndarray:
         x = self._x[start:stop]
         members = self._membership[:, start:stop]
-        counts = np.zeros((self._num_candidates, self._num_groups), dtype=np.int64)
-        for candidate in range(self._num_candidates):
-            counts[candidate] = np.bincount(
-                x[members[candidate]], minlength=self._num_groups
-            )
+        # One kernel call over all (candidate, matching row) pairs instead
+        # of a per-candidate bincount loop.
+        cand, rows = np.nonzero(members)
+        counts = count_pairs(cand, x[rows], self._num_candidates, self._num_groups)
         self._delivered += counts.sum(axis=1)
         return counts
 

@@ -406,8 +406,57 @@ def normalize_parallel_scaling(data: dict, note: str = "") -> BenchRecord:
     )
 
 
+def normalize_bench_kernels(data: dict, note: str = "") -> BenchRecord:
+    """Flatten ``bench_kernels.json`` into a history record.
+
+    Kernel timings are wall-clock (``wall_`` prefix: same-host gating
+    only), but the bytes-moved reduction rates are deterministic functions
+    of the benchmark configuration — they gate everywhere, so a kernel
+    that silently starts copying more fails CI on any runner.  The
+    byte-identity flag is strict everywhere.
+    """
+    config = {
+        "bench": "bench_kernels",
+        "tiny": data.get("tiny"),
+        "rows": data.get("rows"),
+        "block_size": data.get("block_size"),
+        "window_blocks": data.get("window_blocks"),
+        "passes": data.get("passes"),
+        "candidates": data.get("candidates"),
+        "groups": data.get("groups"),
+    }
+    metrics: dict[str, float] = {
+        # Deliberately no _seconds suffix: ~100 us of build time is below
+        # the noise floor ratio gating can handle, so record it info-only.
+        "wall_codes_build": float(data.get("codes_build_seconds", 0.0)),
+    }
+    all_identical = 1.0
+    classic_seconds = None
+    kernels = data.get("kernels", {})
+    if "classic" in kernels:
+        classic_seconds = float(kernels["classic"]["seconds"])
+    for kernel, entry in kernels.items():
+        metrics[f"wall_{kernel}_seconds"] = float(entry["seconds"])
+        if kernel != "classic":
+            if classic_seconds is not None and entry["seconds"] > 0:
+                metrics[f"wall_{kernel}_speedup"] = (
+                    classic_seconds / float(entry["seconds"])
+                )
+            metrics[f"{kernel}_bytes_moved_reduction_rate"] = float(
+                entry.get("bytes_moved_reduction", 0.0)
+            )
+        all_identical = min(
+            all_identical, 1.0 if entry.get("identical_to_classic") else 0.0
+        )
+    metrics["kernels_identical"] = all_identical
+    return BenchRecord(
+        bench="bench_kernels", config=config, metrics=metrics, note=note
+    )
+
+
 #: results-file stem -> normalizer, used by ``repro bench-history record``.
 NORMALIZERS = {
     "bench_serving": normalize_bench_serving,
     "parallel_scaling": normalize_parallel_scaling,
+    "bench_kernels": normalize_bench_kernels,
 }

@@ -30,7 +30,16 @@ bincount kernels; no fork, no shared memory), and :func:`make_backend`
 resolves a CLI/config spec into an instance.
 """
 
+from .affinity import AFFINITY_POLICIES, apply_affinity, available_cpus, plan_affinity
 from .backend import CountSource, ExecutionBackend, SerialBackend, count_pairs
+from .kernels import (
+    KERNEL_SPECS,
+    KERNELS,
+    build_pair_codes,
+    count_window,
+    pair_code_dtype,
+    resolve_kernel,
+)
 from .merge import ShardMerger
 from .pool import WorkerPool
 from .shard import Shard, ShardPlanner
@@ -40,7 +49,10 @@ from .threaded import ThreadPoolBackend
 from .worker import ShardResult, ShardTask, count_shard
 
 __all__ = [
+    "AFFINITY_POLICIES",
     "BACKENDS",
+    "KERNELS",
+    "KERNEL_SPECS",
     "WORKER_BACKENDS",
     "CountSource",
     "ExecutionBackend",
@@ -55,10 +67,17 @@ __all__ = [
     "SharedMemoryStore",
     "ThreadPoolBackend",
     "WorkerPool",
+    "apply_affinity",
     "attach_segment",
+    "available_cpus",
+    "build_pair_codes",
     "count_pairs",
     "count_shard",
+    "count_window",
     "make_backend",
+    "pair_code_dtype",
+    "plan_affinity",
+    "resolve_kernel",
 ]
 
 #: Backend names accepted by the CLI and :class:`~repro.system.MatchSession`.
@@ -69,25 +88,34 @@ WORKER_BACKENDS = ("sharded", "threads")
 
 
 def make_backend(
-    spec: str | ExecutionBackend = "serial", workers: int | None = None
+    spec: str | ExecutionBackend = "serial",
+    workers: int | None = None,
+    cpu_affinity: str | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec (``"serial"``, ``"sharded"``, ``"threads"``,
     or an existing instance) into an :class:`ExecutionBackend`.
 
-    ``workers`` applies to the worker-carrying backends only (default: the
-    machine's CPU count); passing it alongside an existing instance is an
-    error since the instance already fixed its pool size.
+    ``workers`` and ``cpu_affinity`` apply to the worker-carrying backends
+    only (workers default to the machine's CPU count; affinity defaults to
+    no pinning); passing either alongside an existing instance is an error
+    since the instance already fixed its pool configuration.
     """
+    if cpu_affinity == "none":
+        cpu_affinity = None
     if isinstance(spec, ExecutionBackend):
         if workers is not None:
             raise ValueError("workers cannot be overridden on an existing backend")
+        if cpu_affinity is not None:
+            raise ValueError("cpu_affinity cannot be overridden on an existing backend")
         return spec
     if spec == "serial":
         if workers is not None:
             raise ValueError("the serial backend takes no workers")
+        if cpu_affinity is not None:
+            raise ValueError("the serial backend takes no cpu_affinity")
         return SerialBackend()
     if spec == "sharded":
-        return ShardedBackend(workers)
+        return ShardedBackend(workers, cpu_affinity=cpu_affinity)
     if spec == "threads":
-        return ThreadPoolBackend(workers)
+        return ThreadPoolBackend(workers, cpu_affinity=cpu_affinity)
     raise ValueError(f"backend must be one of {BACKENDS}, got {spec!r}")

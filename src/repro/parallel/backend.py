@@ -39,19 +39,9 @@ from ..obs.profiler import NULL_PROFILER
 from ..obs.tracer import NULL_TRACER
 from ..storage.io_manager import IOManager
 from ..storage.shuffle import ShuffledTable
+from .kernels import _count_pairs_moved, count_pairs, count_window
 
 __all__ = ["CountSource", "ExecutionBackend", "SerialBackend", "count_pairs"]
-
-
-def count_pairs(
-    z: np.ndarray, x: np.ndarray, num_candidates: int, num_groups: int
-) -> np.ndarray:
-    """Bincount already-gathered ``(z, x)`` codes into a count matrix."""
-    flat = np.bincount(
-        z.astype(np.int64, copy=False) * num_groups + x.astype(np.int64, copy=False),
-        minlength=num_candidates * num_groups,
-    )
-    return flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
 
 
 @dataclass(frozen=True)
@@ -75,6 +65,11 @@ class CountSource:
     #: attributed to the job even on a backend shared across tenants.
     #: Defaults to the shared no-op (one branch on the hot path).
     profiler: object = NULL_PROFILER
+    #: Prepared pair-code column (:func:`~repro.parallel.kernels.build_pair_codes`)
+    #: enabling the fused kernel; ``None`` when not prepared.
+    codes: np.ndarray | None = None
+    #: Kernel spec forwarded to :func:`~repro.parallel.kernels.count_window`.
+    kernel: str = "auto"
 
 
 class ExecutionBackend(ABC):
@@ -153,16 +148,18 @@ class ExecutionBackend(ABC):
         started = time.perf_counter_ns() if profiler.enabled else 0
         z = table.column(z_name)
         x = table.column(x_name)
+        moved = 0
         if row_filter is not None:
             z = z[row_filter]
             x = x[row_filter]
-        counts = count_pairs(z, x, num_candidates, num_groups)
+            moved += int(z.nbytes + x.nbytes)
+        counts, code_bytes = _count_pairs_moved(z, x, num_candidates, num_groups)
         if profiler.enabled:
             profiler.record_kernel(
                 "serial.count_table",
                 float(time.perf_counter_ns() - started),
                 rows=int(counts.sum()),
-                nbytes=int(z.nbytes + x.nbytes),
+                nbytes=moved + code_bytes,
                 bincounts=1,
             )
         return counts
@@ -202,22 +199,25 @@ class SerialBackend(ExecutionBackend):
     ) -> tuple[np.ndarray, float]:
         profiler = source.profiler
         started = time.perf_counter_ns() if profiler.enabled else 0
-        read = source.io.read_blocks(blocks, (source.z_name, source.x_name))
-        z = read.columns[source.z_name]
-        x = read.columns[source.x_name]
-        if source.row_filter is not None:
-            rows = source.shuffled.layout.rows_of_blocks(blocks)
-            keep = source.row_filter[rows]
-            z = z[keep]
-            x = x[keep]
-        counts = count_pairs(z, x, source.num_candidates, source.num_groups)
+        cost = source.io.read_cost(blocks)
+        counts, moved = count_window(
+            source.shuffled.table.column(source.z_name),
+            source.shuffled.table.column(source.x_name),
+            blocks,
+            source.shuffled.layout,
+            source.num_candidates,
+            source.num_groups,
+            row_filter=source.row_filter,
+            codes=source.codes,
+            kernel=source.kernel,
+        )
         if profiler.enabled:
             profiler.record_kernel(
                 "serial.count",
                 float(time.perf_counter_ns() - started),
                 rows=int(counts.sum()),
                 blocks=int(blocks.size),
-                nbytes=int(z.nbytes + x.nbytes),
+                nbytes=moved,
                 bincounts=1,
             )
-        return counts, read.cost_ns
+        return counts, cost

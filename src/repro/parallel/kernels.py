@@ -1,0 +1,271 @@
+"""Counting kernels: the one place window counting arithmetic lives.
+
+Every backend routes the gather + filter + bincount of a window's blocks
+through :func:`count_window`, which dispatches to one of three registered
+kernels — all byte-identical in output to the legacy serial path, differing
+only in how many bytes they materialize on the way:
+
+- ``"classic"`` — the legacy arithmetic, verbatim: an int64 row-index
+  gather (:meth:`~repro.storage.blocks.BlockLayout.rows_of_blocks`), fancy
+  indexing into fresh stored-dtype arrays, an int64 upcast of both columns,
+  then ``z * G + x`` in int64 and one bincount.  Kept as the reference
+  kernel the identity tests pin the others against.
+- ``"narrow"`` — walks the window's contiguous block runs as slices
+  (:meth:`~repro.storage.blocks.BlockLayout.run_bounds`) instead of
+  materializing a row-index array, and computes the pair codes directly in
+  :func:`pair_code_dtype` — the narrowest dtype that holds
+  ``num_candidates * num_groups`` codes — skipping the per-window int64
+  upcasts entirely.  Selected automatically whenever the code space fits
+  ``uint32``.
+- ``"fused"`` — counts a *prepared pair-code column* (``z * G + x``
+  materialized once per ``(z, x)`` pair by :func:`build_pair_codes` and
+  cached in the session's prepared-artifact layer), so per-window work
+  degenerates to slice-take + bincount.  A single-run unfiltered window
+  bincounts a zero-copy view: zero bytes moved.
+
+Codes are exact in any of these dtypes (values are validated in
+``[0, cardinality)`` by :class:`~repro.storage.table.ColumnTable`, and the
+narrow dtype is chosen to hold ``C*G - 1``), and ``np.bincount`` output is
+int64 regardless of input dtype, so kernel choice can never change counts —
+only bytes moved and nanoseconds spent.
+
+Each kernel returns ``(counts, moved_bytes)`` where ``moved_bytes`` counts
+bytes *materialized into fresh arrays* by the kernel (gathers, upcasts,
+code arrays, filter outputs); zero-copy views contribute nothing.  That is
+the quantity the profiler's ``bytes_moved`` counter reports and the kernel
+benchmark gates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.blocks import BlockLayout
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_SPECS",
+    "build_pair_codes",
+    "count_pairs",
+    "count_window",
+    "pair_code_dtype",
+    "resolve_kernel",
+]
+
+#: Concrete kernel names, in the order auto-selection prefers them.
+KERNELS = ("fused", "narrow", "classic")
+
+#: What sessions/CLI accept: ``"auto"`` picks per :func:`resolve_kernel`.
+KERNEL_SPECS = ("auto", "classic", "narrow", "fused")
+
+
+def pair_code_dtype(num_candidates: int, num_groups: int) -> np.dtype:
+    """Narrowest dtype holding every pair code in ``[0, C*G)``.
+
+    ``uint8``/``uint16``/``uint32`` when the code space fits (``bincount``
+    accepts them), otherwise ``int64`` — never ``uint64``, which
+    ``bincount`` rejects.
+    """
+    span = max(int(num_candidates) * int(num_groups) - 1, 0)
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if span <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
+def _pair_codes(
+    z: np.ndarray, x: np.ndarray, num_groups: int, dtype: np.dtype
+) -> np.ndarray:
+    """``z * num_groups + x`` computed directly in ``dtype``.
+
+    ``casting="unsafe"`` is required for the cross-kind cast (stored
+    columns may be unsigned, the target may differ) and is exact here:
+    values are validated non-negative and the dtype holds the full code
+    span.
+    """
+    codes = np.multiply(z, num_groups, dtype=dtype, casting="unsafe")
+    np.add(codes, x, out=codes, casting="unsafe")
+    return codes
+
+
+def build_pair_codes(
+    z: np.ndarray, x: np.ndarray, num_candidates: int, num_groups: int
+) -> np.ndarray:
+    """The prepared pair-code column the ``"fused"`` kernel counts.
+
+    Materialized once per ``(z, x)`` column pair (memory cost: one item of
+    :func:`pair_code_dtype` per row) and cached/published like any other
+    prepared artifact; read-only so every consumer can share it.
+    """
+    codes = _pair_codes(z, x, num_groups, pair_code_dtype(num_candidates, num_groups))
+    codes.setflags(write=False)
+    return codes
+
+
+def count_pairs(
+    z: np.ndarray, x: np.ndarray, num_candidates: int, num_groups: int
+) -> np.ndarray:
+    """Bincount already-gathered ``(z, x)`` codes into a count matrix."""
+    return _count_pairs_moved(z, x, num_candidates, num_groups)[0]
+
+
+def _count_pairs_moved(
+    z: np.ndarray, x: np.ndarray, num_candidates: int, num_groups: int
+) -> tuple[np.ndarray, int]:
+    """:func:`count_pairs` plus the bytes it materialized (the code array)."""
+    codes = _pair_codes(z, x, num_groups, pair_code_dtype(num_candidates, num_groups))
+    flat = np.bincount(codes, minlength=num_candidates * num_groups)
+    counts = flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+    return counts, int(codes.nbytes)
+
+
+def resolve_kernel(
+    kernel: str,
+    num_candidates: int,
+    num_groups: int,
+    codes: np.ndarray | None = None,
+) -> str:
+    """Auto-selection: the concrete kernel a spec resolves to.
+
+    A prepared code column always wins (the expensive part is already
+    paid).  Otherwise ``"narrow"`` whenever the code space fits below
+    int64 — including for ``kernel="fused"`` without codes, which degrades
+    gracefully rather than failing — and ``"classic"`` as the fallback.
+    """
+    if kernel not in KERNEL_SPECS:
+        raise ValueError(f"kernel must be one of {KERNEL_SPECS}, got {kernel!r}")
+    if kernel == "classic":
+        return "classic"
+    if codes is not None:
+        return "fused"
+    if pair_code_dtype(num_candidates, num_groups) != np.dtype(np.int64):
+        return "narrow"
+    return "classic"
+
+
+def _gather_runs(
+    column: np.ndarray, starts: np.ndarray, stops: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Rows of the given spans, in span order; zero-copy for a single run."""
+    if starts.size == 1:
+        return column[starts[0] : stops[0]], 0
+    out = np.concatenate([column[a:b] for a, b in zip(starts, stops)])
+    return out, int(out.nbytes)
+
+
+def _classic_kernel(
+    z, x, blocks, layout, num_candidates, num_groups, row_filter, filter_slice, codes
+) -> tuple[np.ndarray, int]:
+    """The legacy serial path, with its materializations accounted."""
+    rows = layout.rows_of_blocks(blocks)
+    moved = int(rows.nbytes)
+    gathered_z = z[rows]
+    gathered_x = x[rows]
+    moved += int(gathered_z.nbytes + gathered_x.nbytes)
+    zz = gathered_z.astype(np.int64, copy=False)
+    xx = gathered_x.astype(np.int64, copy=False)
+    if zz is not gathered_z:
+        moved += int(zz.nbytes)
+    if xx is not gathered_x:
+        moved += int(xx.nbytes)
+    keep = row_filter[rows] if row_filter is not None else filter_slice
+    if keep is not None:
+        if row_filter is not None:
+            moved += int(keep.nbytes)
+        zz = zz[keep]
+        xx = xx[keep]
+        moved += int(zz.nbytes + xx.nbytes)
+    flat_codes = zz * np.int64(num_groups) + xx
+    moved += int(flat_codes.nbytes)
+    flat = np.bincount(flat_codes, minlength=num_candidates * num_groups)
+    counts = flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+    return counts, moved
+
+
+def _narrow_kernel(
+    z, x, blocks, layout, num_candidates, num_groups, row_filter, filter_slice, codes
+) -> tuple[np.ndarray, int]:
+    """Slice-run gather + narrow-dtype codes (no row index, no upcast)."""
+    starts, stops = layout.run_bounds(blocks)
+    zz, z_moved = _gather_runs(z, starts, stops)
+    xx, x_moved = _gather_runs(x, starts, stops)
+    moved = z_moved + x_moved
+    if row_filter is not None:
+        keep, keep_moved = _gather_runs(row_filter, starts, stops)
+        moved += keep_moved
+    else:
+        keep = filter_slice
+    if keep is not None:
+        zz = zz[keep]
+        xx = xx[keep]
+        moved += int(zz.nbytes + xx.nbytes)
+    flat_codes = _pair_codes(
+        zz, xx, num_groups, pair_code_dtype(num_candidates, num_groups)
+    )
+    moved += int(flat_codes.nbytes)
+    flat = np.bincount(flat_codes, minlength=num_candidates * num_groups)
+    counts = flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+    return counts, moved
+
+
+def _fused_kernel(
+    z, x, blocks, layout, num_candidates, num_groups, row_filter, filter_slice, codes
+) -> tuple[np.ndarray, int]:
+    """Take + bincount over the prepared pair-code column."""
+    starts, stops = layout.run_bounds(blocks)
+    flat_codes, moved = _gather_runs(codes, starts, stops)
+    if row_filter is not None:
+        keep, keep_moved = _gather_runs(row_filter, starts, stops)
+        moved += keep_moved
+    else:
+        keep = filter_slice
+    if keep is not None:
+        flat_codes = flat_codes[keep]
+        moved += int(flat_codes.nbytes)
+    flat = np.bincount(flat_codes, minlength=num_candidates * num_groups)
+    counts = flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+    return counts, moved
+
+
+#: The kernel registry :func:`count_window` dispatches through.
+KERNEL_REGISTRY = {
+    "classic": _classic_kernel,
+    "narrow": _narrow_kernel,
+    "fused": _fused_kernel,
+}
+
+
+def count_window(
+    z: np.ndarray,
+    x: np.ndarray,
+    blocks: np.ndarray,
+    layout: BlockLayout,
+    num_candidates: int,
+    num_groups: int,
+    *,
+    row_filter: np.ndarray | None = None,
+    filter_slice: np.ndarray | None = None,
+    codes: np.ndarray | None = None,
+    kernel: str = "auto",
+) -> tuple[np.ndarray, int]:
+    """Count ``(z, x)`` pairs of the rows covered by ``blocks``.
+
+    The shared entry point of every backend's window counting: resolves
+    ``kernel`` (see :func:`resolve_kernel`), dispatches to the registry,
+    and returns the int64 ``(num_candidates, num_groups)`` count matrix
+    plus the bytes the kernel materialized.
+
+    The filter comes either as ``row_filter`` (a full-table boolean mask)
+    or ``filter_slice`` (a mask already aligned to the blocks' rows in
+    block order) — mutually exclusive, same arithmetic.  ``codes`` is the
+    prepared pair-code column (:func:`build_pair_codes`) enabling the
+    fused kernel.
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if blocks.size == 0:
+        return np.zeros((num_candidates, num_groups), dtype=np.int64), 0
+    kind = resolve_kernel(kernel, num_candidates, num_groups, codes=codes)
+    return KERNEL_REGISTRY[kind](
+        z, x, blocks, layout, num_candidates, num_groups,
+        row_filter, filter_slice, codes,
+    )

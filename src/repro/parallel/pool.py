@@ -28,6 +28,7 @@ import time
 from typing import Sequence
 
 from ..obs.tracer import NULL_TRACER
+from .affinity import apply_affinity, plan_affinity
 from .worker import ShardResult, ShardTask, worker_loop
 
 __all__ = ["WorkerPool", "default_start_method"]
@@ -52,6 +53,12 @@ class WorkerPool:
     result_timeout_s:
         How long one result may take before the pool checks worker liveness
         (a dead worker otherwise means waiting forever).
+    cpu_affinity:
+        Optional worker-placement policy (``"spread"`` / ``"compact"``, see
+        :mod:`~repro.parallel.affinity`): each worker process is pinned to
+        one CPU right after spawn.  Best-effort — unsupported platforms
+        leave workers unpinned; :attr:`affinity_applied` reports how many
+        pins actually took.
     """
 
     #: Observability hook (set by the owning backend's ``set_tracer``):
@@ -64,6 +71,7 @@ class WorkerPool:
         n_workers: int,
         start_method: str | None = None,
         result_timeout_s: float = 60.0,
+        cpu_affinity: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -72,6 +80,8 @@ class WorkerPool:
         self.n_workers = n_workers
         self.start_method = start_method or default_start_method()
         self.result_timeout_s = result_timeout_s
+        self.cpu_affinity = cpu_affinity
+        self.affinity_applied = 0
         self.tasks_dispatched = 0
         self.closed = False
         # Concurrent-run gather state (see run()): one caller drains the
@@ -100,6 +110,11 @@ class WorkerPool:
         ]
         for worker in self._workers:
             worker.start()
+        cpusets = plan_affinity(cpu_affinity, n_workers)
+        if cpusets:
+            for worker, cpuset in zip(self._workers, cpusets):
+                if worker.pid is not None and apply_affinity(worker.pid, cpuset):
+                    self.affinity_applied += 1
 
     @property
     def alive_workers(self) -> int:

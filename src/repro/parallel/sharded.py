@@ -31,11 +31,12 @@ import numpy as np
 
 from ..storage.blocks import BlockLayout
 from .backend import CountSource, ExecutionBackend
+from .kernels import count_window
 from .merge import ShardMerger
 from .pool import WorkerPool
 from .shard import ShardPlanner
 from .shm import SharedMemoryStore
-from .worker import ShardTask, count_shard
+from .worker import ShardTask
 
 __all__ = ["ShardedBackend"]
 
@@ -67,6 +68,11 @@ class ShardedBackend(ExecutionBackend):
         the benchmark's ``--tiny`` mode).
     start_method:
         Worker start method (default: ``fork`` where available).
+    cpu_affinity:
+        Optional worker-placement policy (``"spread"`` / ``"compact"``, see
+        :mod:`~repro.parallel.affinity`) forwarded to the worker pool: each
+        worker process is pinned to one CPU after spawn.  Best-effort — a
+        no-op on platforms without :func:`os.sched_setaffinity`.
     """
 
     name = "sharded"
@@ -77,6 +83,7 @@ class ShardedBackend(ExecutionBackend):
         *,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
         start_method: str | None = None,
+        cpu_affinity: str | None = None,
     ) -> None:
         resolved = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if resolved < 1:
@@ -86,6 +93,7 @@ class ShardedBackend(ExecutionBackend):
         self.n_workers = resolved
         self.min_shard_rows = min_shard_rows
         self.start_method = start_method
+        self.cpu_affinity = cpu_affinity
         self.planner = ShardPlanner(resolved)
         self.store = SharedMemoryStore()
         self.shard_tasks = 0
@@ -119,7 +127,9 @@ class ShardedBackend(ExecutionBackend):
                 self._pool = None
             if self._pool is None:
                 self._pool = WorkerPool(
-                    self.n_workers, start_method=self.start_method
+                    self.n_workers,
+                    start_method=self.start_method,
+                    cpu_affinity=self.cpu_affinity,
                 )
                 self._pool.tracer = self.tracer
             return self._pool
@@ -166,7 +176,12 @@ class ShardedBackend(ExecutionBackend):
             filter_ref = self.store.publish(
                 ("filter", id(source.row_filter)), source.row_filter
             )
-        return z_ref, x_ref, filter_ref
+        codes_ref = None
+        if source.codes is not None:
+            codes_ref = self.store.publish(
+                ("codes", id(source.codes)), source.codes
+            )
+        return z_ref, x_ref, filter_ref, codes_ref
 
     # --------------------------------------------------------------- counting
 
@@ -187,32 +202,31 @@ class ShardedBackend(ExecutionBackend):
                 )
             profiler = source.profiler
             started = time.perf_counter_ns() if profiler.enabled else 0
-            z = source.shuffled.table.column(source.z_name)
-            x = source.shuffled.table.column(source.x_name)
-            counts = count_shard(
-                z,
-                x,
+            counts, moved = count_window(
+                source.shuffled.table.column(source.z_name),
+                source.shuffled.table.column(source.x_name),
                 blocks,
                 layout,
                 source.num_candidates,
                 source.num_groups,
-                source.row_filter,
+                row_filter=source.row_filter,
+                codes=source.codes,
+                kernel=source.kernel,
             )
             if profiler.enabled:
-                counted = int(counts.sum())
                 profiler.record_kernel(
                     "sharded.inline",
                     float(time.perf_counter_ns() - started),
-                    rows=counted,
+                    rows=int(counts.sum()),
                     blocks=int(blocks.size),
-                    nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                    nbytes=moved,
                     bincounts=1,
                 )
             return counts, cost
         shards = self.planner.plan(blocks, layout)
         pool = self.pool
         with self._dispatch_lock:
-            z_ref, x_ref, filter_ref = self._refs(source)
+            z_ref, x_ref, filter_ref, codes_ref = self._refs(source)
             # Task ids are globally unique across the backend's lifetime
             # (allocated under the dispatch lock), so neither an earlier
             # failed window's stragglers nor a concurrently-running window
@@ -232,6 +246,8 @@ class ShardedBackend(ExecutionBackend):
                     num_groups=source.num_groups,
                     gc_epoch=gc_epoch,
                     live_segments=live_segments,
+                    codes_ref=codes_ref,
+                    kernel=source.kernel,
                 )
                 for shard in shards
             ]
@@ -261,17 +277,12 @@ class ShardedBackend(ExecutionBackend):
             # Worker-side kernel nanoseconds (ShardResult.elapsed_ns), not
             # the coordinator's wait — IPC/queueing shows up in the trace
             # span instead, so the two views stay distinguishable.
-            counted = sum(result.rows for result in results)
-            itemsize = (
-                source.shuffled.table.column(source.z_name).dtype.itemsize
-                + source.shuffled.table.column(source.x_name).dtype.itemsize
-            )
             profiler.record_kernel(
                 "sharded.window",
                 float(sum(result.elapsed_ns for result in results)),
-                rows=counted,
+                rows=sum(result.rows for result in results),
                 blocks=int(blocks.size),
-                nbytes=counted * itemsize,
+                nbytes=sum(result.moved_bytes for result in results),
                 bincounts=len(tasks),
             )
         merger = ShardMerger(source.num_candidates, source.num_groups)
@@ -360,17 +371,12 @@ class ShardedBackend(ExecutionBackend):
         else:
             results = pool.run(tasks)
         if self.profiler.enabled:
-            counted = sum(result.rows for result in results)
-            itemsize = (
-                table.column(z_name).dtype.itemsize
-                + table.column(x_name).dtype.itemsize
-            )
             self.profiler.record_kernel(
                 "sharded.table",
                 float(sum(result.elapsed_ns for result in results)),
-                rows=counted,
+                rows=sum(result.rows for result in results),
                 blocks=int(layout.num_blocks),
-                nbytes=counted * itemsize,
+                nbytes=sum(result.moved_bytes for result in results),
                 bincounts=len(tasks),
             )
         merger = ShardMerger(num_candidates, num_groups)
@@ -382,9 +388,10 @@ class ShardedBackend(ExecutionBackend):
         """Unlink the shared-memory segments belonging to evicted artifacts.
 
         Artifacts are matched by identity against the store's publish keys
-        (``("column", id(table), name)`` / ``("filter", id(mask))``), so a
-        table drops all of its column segments and a filter mask drops its
-        segment; pinned tables are released so their ids can be recycled.
+        (``("column", id(table), name)`` / ``("filter", id(mask))`` /
+        ``("codes", id(codes))``), so a table drops all of its column
+        segments and a filter mask or pair-code column drops its segment;
+        pinned tables are released so their ids can be recycled.
         """
         ids = {id(artifact) for artifact in artifacts if artifact is not None}
         with self._dispatch_lock:
@@ -402,6 +409,7 @@ class ShardedBackend(ExecutionBackend):
             "workers": self.n_workers,
             "min_shard_rows": self.min_shard_rows,
             "shard_tasks": self.shard_tasks,
+            "cpu_affinity": self.cpu_affinity or "none",
         }
 
     def close(self) -> None:

@@ -45,11 +45,13 @@ import numpy as np
 
 from ..obs.profiler import NULL_PROFILER
 from ..storage.blocks import BlockLayout
+from .affinity import AFFINITY_POLICIES, apply_affinity, plan_affinity
 from .backend import CountSource, ExecutionBackend
+from .kernels import count_window
 from .merge import ShardMerger
 from .shard import ShardPlanner
 from .sharded import DEFAULT_MIN_SHARD_ROWS, EXACT_PASS_BLOCK_ROWS
-from .worker import ShardResult, count_shard
+from .worker import ShardResult
 
 __all__ = ["ThreadPoolBackend"]
 
@@ -67,6 +69,11 @@ class ThreadPoolBackend(ExecutionBackend):
         windows below ``n_workers * min_shard_rows`` rows are counted
         inline with the identical kernel.  Set to 0 to force every window
         through the executor (equivalence tests, ``--tiny`` benchmarks).
+    cpu_affinity:
+        Optional worker-placement policy (``"spread"`` / ``"compact"``, see
+        :mod:`~repro.parallel.affinity`): each executor thread pins itself
+        to one CPU at startup.  Best-effort — a no-op on platforms without
+        :func:`os.sched_setaffinity`.
     """
 
     name = "threads"
@@ -76,22 +83,39 @@ class ThreadPoolBackend(ExecutionBackend):
         n_workers: int | None = None,
         *,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+        cpu_affinity: str | None = None,
     ) -> None:
         resolved = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if resolved < 1:
             raise ValueError(f"n_workers must be >= 1, got {resolved}")
         if min_shard_rows < 0:
             raise ValueError(f"min_shard_rows must be >= 0, got {min_shard_rows}")
+        if cpu_affinity is not None and cpu_affinity not in AFFINITY_POLICIES:
+            raise ValueError(
+                f"cpu_affinity must be one of {AFFINITY_POLICIES}, got {cpu_affinity!r}"
+            )
         self.n_workers = resolved
         self.min_shard_rows = min_shard_rows
+        self.cpu_affinity = cpu_affinity
+        self.affinity_applied = 0
         self.planner = ShardPlanner(resolved)
         self.shard_tasks = 0
         self.inline_windows = 0
         self.closed = False
         self._lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
+        self._affinity_next = 0
 
     # -------------------------------------------------------------- executor
+
+    def _pin_worker_thread(self, cpusets: list[set[int]]) -> None:
+        """Executor-thread initializer: pin the calling thread to its CPU."""
+        with self._lock:
+            index = self._affinity_next
+            self._affinity_next += 1
+        if apply_affinity(0, cpusets[index % len(cpusets)]):
+            with self._lock:
+                self.affinity_applied += 1
 
     @property
     def executor(self) -> ThreadPoolExecutor:
@@ -100,9 +124,15 @@ class ThreadPoolBackend(ExecutionBackend):
             if self.closed:
                 raise RuntimeError("ThreadPoolBackend is closed")
             if self._executor is None:
+                cpusets = plan_affinity(self.cpu_affinity, self.n_workers)
+                kwargs = {}
+                if cpusets:
+                    kwargs["initializer"] = self._pin_worker_thread
+                    kwargs["initargs"] = (cpusets,)
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.n_workers,
                     thread_name_prefix="repro-count",
+                    **kwargs,
                 )
             return self._executor
 
@@ -119,6 +149,8 @@ class ThreadPoolBackend(ExecutionBackend):
         row_filter: np.ndarray | None,
         span_name: str = "backend.window",
         profiler=NULL_PROFILER,
+        codes: np.ndarray | None = None,
+        kernel: str = "auto",
     ) -> np.ndarray:
         """Plan shards, count each on the executor, merge exactly.
 
@@ -136,25 +168,28 @@ class ThreadPoolBackend(ExecutionBackend):
         executor = self.executor
         futures = [
             executor.submit(
-                count_shard,
+                count_window,
                 z,
                 x,
                 shard.blocks,
                 layout,
                 num_candidates,
                 num_groups,
-                row_filter,
+                row_filter=row_filter,
+                codes=codes,
+                kernel=kernel,
             )
             for shard in shards
         ]
         results = []
         for i, future in enumerate(futures):
-            counts = future.result()
+            counts, moved = future.result()
             results.append(
                 ShardResult(
                     task_id=base_id + i,
                     counts=counts,
                     rows=int(counts.sum()),
+                    moved_bytes=moved,
                 )
             )
         merger = ShardMerger(num_candidates, num_groups)
@@ -166,7 +201,7 @@ class ThreadPoolBackend(ExecutionBackend):
                 float(time.perf_counter_ns() - started),
                 rows=counted,
                 blocks=int(blocks.size),
-                nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                nbytes=sum(result.moved_bytes for result in results),
                 bincounts=len(shards),
             )
         if traced:
@@ -195,23 +230,24 @@ class ThreadPoolBackend(ExecutionBackend):
             with self._lock:
                 self.inline_windows += 1
             started = time.perf_counter_ns() if profiler.enabled else 0
-            counts = count_shard(
+            counts, moved = count_window(
                 z,
                 x,
                 blocks,
                 layout,
                 source.num_candidates,
                 source.num_groups,
-                source.row_filter,
+                row_filter=source.row_filter,
+                codes=source.codes,
+                kernel=source.kernel,
             )
             if profiler.enabled:
-                counted = int(counts.sum())
                 profiler.record_kernel(
                     "threads.inline",
                     float(time.perf_counter_ns() - started),
-                    rows=counted,
+                    rows=int(counts.sum()),
                     blocks=int(blocks.size),
-                    nbytes=counted * (z.dtype.itemsize + x.dtype.itemsize),
+                    nbytes=moved,
                     bincounts=1,
                 )
             return counts, cost
@@ -224,6 +260,8 @@ class ThreadPoolBackend(ExecutionBackend):
             source.num_groups,
             source.row_filter,
             profiler=profiler,
+            codes=source.codes,
+            kernel=source.kernel,
         )
         return counts, cost
 
@@ -271,6 +309,8 @@ class ThreadPoolBackend(ExecutionBackend):
             "workers": self.n_workers,
             "min_shard_rows": self.min_shard_rows,
             "shard_tasks": self.shard_tasks,
+            "cpu_affinity": self.cpu_affinity or "none",
+            "affinity_applied": self.affinity_applied,
         }
 
     def close(self) -> None:

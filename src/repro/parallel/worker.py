@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..storage.blocks import BlockLayout
+from .kernels import count_window
 from .shm import SegmentRef, attach_segment
 
 __all__ = ["ShardTask", "ShardResult", "count_shard", "worker_loop"]
@@ -47,6 +48,11 @@ class ShardTask:
     #: releasing pages the coordinator unlinked on cache eviction.
     gc_epoch: int = 0
     live_segments: tuple[str, ...] | None = None
+    #: Prepared pair-code column (published to shared memory) enabling the
+    #: fused kernel; ``None`` when the session has not prepared one.
+    codes_ref: SegmentRef | None = None
+    #: Kernel spec forwarded to :func:`~repro.parallel.kernels.count_window`.
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,10 @@ class ShardResult:
     #: merging ignores it; the sharded backend folds it into its
     #: ``backend.window`` span attributes.
     elapsed_ns: float = 0.0
+    #: Bytes the counting kernel materialized for this shard (see
+    #: :func:`~repro.parallel.kernels.count_window`).  Observability only;
+    #: the coordinator sums it into the profiler's ``nbytes``.
+    moved_bytes: int = 0
 
 
 def count_shard(
@@ -78,26 +88,31 @@ def count_shard(
     num_groups: int,
     row_filter: np.ndarray | None = None,
     filter_slice: np.ndarray | None = None,
+    codes: np.ndarray | None = None,
+    kernel: str = "auto",
 ) -> np.ndarray:
     """Count ``(z, x)`` pairs of the rows covered by ``blocks``.
 
-    Identical arithmetic to the serial engine's delivery path: gather the
-    blocks' rows, drop rows failing the filter, and bincount the flattened
-    pair codes into a ``(num_candidates, num_groups)`` int64 matrix.
+    Identical arithmetic to the serial engine's delivery path — a thin
+    wrapper over :func:`~repro.parallel.kernels.count_window` that keeps the
+    historical signature for pool workers and tests.
 
     The filter comes either as ``row_filter`` (a full-table mask indexed by
     the gathered rows) or ``filter_slice`` (a mask already aligned to the
     shard's rows in block order) — mutually exclusive, same arithmetic.
     """
-    rows = layout.rows_of_blocks(blocks)
-    zz = z[rows].astype(np.int64, copy=False)
-    xx = x[rows].astype(np.int64, copy=False)
-    keep = row_filter[rows] if row_filter is not None else filter_slice
-    if keep is not None:
-        zz = zz[keep]
-        xx = xx[keep]
-    flat = np.bincount(zz * num_groups + xx, minlength=num_candidates * num_groups)
-    return flat.reshape(num_candidates, num_groups).astype(np.int64, copy=False)
+    return count_window(
+        z,
+        x,
+        blocks,
+        layout,
+        num_candidates,
+        num_groups,
+        row_filter=row_filter,
+        filter_slice=filter_slice,
+        codes=codes,
+        kernel=kernel,
+    )[0]
 
 
 def _gc_attachments(task: ShardTask, attachments: dict, state: dict) -> None:
@@ -140,15 +155,18 @@ def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> Shard
 
     layout = BlockLayout(task.num_rows, task.block_size)
     row_filter = view(task.filter_ref) if task.filter_ref is not None else None
-    counts = count_shard(
+    codes = view(task.codes_ref) if task.codes_ref is not None else None
+    counts, moved = count_window(
         view(task.z_ref),
         view(task.x_ref),
         task.blocks,
         layout,
         task.num_candidates,
         task.num_groups,
-        row_filter,
-        task.filter_values,
+        row_filter=row_filter,
+        filter_slice=task.filter_values,
+        codes=codes,
+        kernel=task.kernel,
     )
     return ShardResult(
         task_id=task.task_id,
@@ -156,6 +174,7 @@ def _run_task(task: ShardTask, attachments: dict, shared_tracker: bool) -> Shard
         rows=int(counts.sum()),
         cached_attachments=len(attachments),
         elapsed_ns=float(time.perf_counter_ns() - started),
+        moved_bytes=moved,
     )
 
 

@@ -80,6 +80,14 @@ class BlockSamplingEngine:
         counting-kernel effort even on a shared backend.  ``None`` (the
         default) wires the shared no-op profiler: one attribute load and
         branch per window, no allocation.
+    kernel:
+        Counting-kernel spec forwarded to the backend via the
+        :class:`CountSource` (see :mod:`~repro.parallel.kernels`).
+        ``"auto"`` (the default) picks the cheapest byte-identical kernel.
+    codes:
+        Optional prepared pair-code column
+        (:func:`~repro.parallel.kernels.build_pair_codes`) enabling the
+        fused kernel; must have one entry per row.
     """
 
     def __init__(
@@ -97,6 +105,8 @@ class BlockSamplingEngine:
         start_block: int | None = None,
         backend: ExecutionBackend | None = None,
         profiler=None,
+        kernel: str = "auto",
+        codes: np.ndarray | None = None,
     ) -> None:
         if window_blocks < 1:
             raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
@@ -122,6 +132,8 @@ class BlockSamplingEngine:
             if row_filter.shape != (shuffled.num_rows,):
                 raise ValueError("row_filter must have one entry per row")
         self._row_filter = row_filter
+        if codes is not None and codes.shape != (shuffled.num_rows,):
+            raise ValueError("codes must have one entry per row")
         self._source = CountSource(
             shuffled=shuffled,
             z_name=candidate_attribute,
@@ -131,6 +143,8 @@ class BlockSamplingEngine:
             row_filter=row_filter,
             io=self.io,
             profiler=self.profiler,
+            codes=codes,
+            kernel=kernel,
         )
 
         z_column = shuffled.table.column(candidate_attribute).astype(np.int64, copy=False)

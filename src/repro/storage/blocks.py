@@ -59,6 +59,28 @@ class BlockLayout:
         blocks = np.asarray(blocks, dtype=np.int64)
         return np.minimum(self.block_size, self.num_rows - blocks * self.block_size)
 
+    def run_bounds(self, blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous-run row spans ``[start, stop)`` covered by ``blocks``.
+
+        Consecutive block indexes collapse into one span, so a window of
+        adjacent blocks (the common case under sequential scan order) walks
+        as a handful of slices instead of a per-row index gather.  Spans are
+        emitted in the order blocks appear; concatenating the spans' rows
+        yields exactly :meth:`rows_of_blocks`.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if blocks.min() < 0 or blocks.max() >= self.num_blocks:
+            raise ValueError("block index out of range")
+        breaks = np.flatnonzero(np.diff(blocks) != 1)
+        first = blocks[np.concatenate(([0], breaks + 1))]
+        last = blocks[np.concatenate((breaks, [blocks.size - 1]))]
+        starts = first * self.block_size
+        stops = np.minimum((last + 1) * self.block_size, self.num_rows)
+        return starts, stops
+
     def rows_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
         """Tuple offsets covered by the given block indexes, in block order."""
         blocks = np.asarray(blocks, dtype=np.int64)

@@ -83,6 +83,24 @@ class IOManager:
             }
             return BlockRead(empty, 0, 0, 0.0)
         cost = self.read_cost(blocks)
-        rows = self.shuffled.layout.rows_of_blocks(blocks)
-        gathered = {name: self.shuffled.table.column(name)[rows] for name in columns}
-        return BlockRead(gathered, int(rows.size), int(blocks.size), cost)
+        # Walk contiguous block runs as slices rather than materializing a
+        # per-row index gather; a single run (the sequential-scan common
+        # case) comes back as a zero-copy view of the stored column.
+        starts, stops = self.shuffled.layout.run_bounds(blocks)
+        if starts.size == 1:
+            lo, hi = int(starts[0]), int(stops[0])
+            gathered = {
+                name: self.shuffled.table.column(name)[lo:hi] for name in columns
+            }
+        else:
+            gathered = {
+                name: np.concatenate(
+                    [
+                        self.shuffled.table.column(name)[lo:hi]
+                        for lo, hi in zip(starts, stops)
+                    ]
+                )
+                for name in columns
+            }
+        rows_read = int((stops - starts).sum())
+        return BlockRead(gathered, rows_read, int(blocks.size), cost)

@@ -81,6 +81,12 @@ class PreparedQuery:
     exact_counts: np.ndarray
     target: np.ndarray
     row_filter: np.ndarray | None
+    #: Optional prepared pair-code column
+    #: (:func:`~repro.parallel.kernels.build_pair_codes`), built by the
+    #: session layer when its kernel is ``"fused"``; enables take+bincount
+    #: window counting.  ``None`` for one-shot runs — building it costs a
+    #: full-column pass, worth paying only when the artifact is cached.
+    pair_codes: np.ndarray | None = None
 
     @classmethod
     def prepare(
@@ -127,13 +133,16 @@ def make_engine(
     rng: np.random.Generator,
     backend: ExecutionBackend | None = None,
     profiler=None,
+    kernel: str = "auto",
 ) -> BlockSamplingEngine:
     """Build the block sampling engine for one sampling approach.
 
     Shared by :func:`run_approach` (one-shot) and the session layer
     (:mod:`repro.system.session`), which wires the same engine to a
     resumable stepper on a shared clock.  ``backend`` routes the engine's
-    block delivery (serial by default; sharded when opted in)."""
+    block delivery (serial by default; sharded when opted in); ``kernel``
+    selects the counting kernel, and the prepared query's ``pair_codes``
+    (when built) ride along to enable the fused one."""
     if approach == "fastmatch":
         policy = AnyActiveLookaheadPolicy()
         window = config.lookahead
@@ -158,6 +167,8 @@ def make_engine(
         row_filter=prepared.row_filter,
         backend=backend,
         profiler=profiler,
+        kernel=kernel,
+        codes=prepared.pair_codes,
     )
 
 
@@ -236,6 +247,7 @@ def run_approach(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     audit: bool = True,
     backend: ExecutionBackend | None = None,
+    kernel: str = "auto",
 ) -> RunReport:
     """Execute one approach on a prepared query and report result + cost.
 
@@ -243,6 +255,7 @@ def run_approach(
     sampling approaches shard per-window counting, the exact ``"scan"``
     shards its single counting pass — with byte-identical results either
     way; the caller owns its lifetime (:meth:`ExecutionBackend.close`).
+    ``kernel`` selects the counting kernel (all choices byte-identical).
     """
     if approach not in APPROACHES:
         raise ValueError(f"approach must be one of {APPROACHES}, got {approach!r}")
@@ -265,7 +278,9 @@ def run_approach(
         if backend is not None:
             backend_name = backend.name
     else:
-        engine = make_engine(prepared, approach, config, cost_model, clock, rng, backend)
+        engine = make_engine(
+            prepared, approach, config, cost_model, clock, rng, backend, kernel=kernel
+        )
         stats_engine = StatsEngine(cost_model, clock)
         algo = HistSim(
             engine, prepared.target, config, stats_cost=stats_engine, backend=backend

@@ -60,6 +60,13 @@ class SessionRegistry:
     workers:
         Worker count for ``backend="sharded"`` (processes) or
         ``backend="threads"`` (threads).
+    kernel:
+        Default counting-kernel spec for every session
+        (:data:`~repro.parallel.KERNEL_SPECS`; overridable per
+        :meth:`add_dataset` call).  All kernels are byte-identical.
+    cpu_affinity:
+        Optional worker-placement policy (``"spread"`` / ``"compact"``) for
+        a worker-carrying backend created from a string spec.
     clock:
         Shared :class:`Clock` for all sessions (default: a fresh
         :class:`SimulatedClock`).
@@ -78,6 +85,8 @@ class SessionRegistry:
         *,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        kernel: str = "auto",
+        cpu_affinity: str | None = None,
         clock: Clock | None = None,
         max_cached_bytes: int | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
@@ -90,7 +99,8 @@ class SessionRegistry:
             raise ValueError(f"max_cached_bytes must be >= 1, got {max_cached_bytes}")
         self.clock = clock if clock is not None else SimulatedClock()
         self._owns_backend = not isinstance(backend, ExecutionBackend)
-        self.backend = make_backend(backend, workers)
+        self.backend = make_backend(backend, workers, cpu_affinity)
+        self.kernel = kernel
         #: Shared tracer for every tenant's spans (sessions inherit it, and
         #: the shared backend's fan-out windows report into it too).
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -138,6 +148,7 @@ class SessionRegistry:
         session_kwargs.setdefault("audit", self.audit)
         session_kwargs.setdefault("tracer", self.tracer)
         session_kwargs.setdefault("profiler", self.profiler)
+        session_kwargs.setdefault("kernel", self.kernel)
         session = MatchSession(
             table,
             backend=self.backend,

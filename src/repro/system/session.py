@@ -41,7 +41,12 @@ from ..core.histsim import HistSim, HistSimStepper
 from ..core.target import resolve_target
 from ..obs.profiler import NULL_PROFILER
 from ..obs.tracer import NULL_TRACER
-from ..parallel import ExecutionBackend, make_backend
+from ..parallel import (
+    KERNEL_SPECS,
+    ExecutionBackend,
+    build_pair_codes,
+    make_backend,
+)
 from ..query.executor import exact_candidate_counts
 from ..query.predicate import TruePredicate
 from ..query.spec import HistogramQuery
@@ -122,6 +127,7 @@ class _StepperJob:
         tracer=NULL_TRACER,
         tenant: str | None = None,
         profiler=NULL_PROFILER,
+        kernel: str = "auto",
     ) -> None:
         self.name = name
         self.approach = approach
@@ -139,7 +145,7 @@ class _StepperJob:
         rng = np.random.default_rng(seed)
         self.engine = make_engine(
             prepared, approach, config, cost_model, clock, rng, backend,
-            profiler=profiler,
+            profiler=profiler, kernel=kernel,
         )
         stats_engine = StatsEngine(cost_model, clock)
         algorithm = HistSim(
@@ -361,6 +367,17 @@ class MatchSession:
     workers:
         Worker count for ``backend="sharded"`` (processes; default: CPU
         count) or ``backend="threads"`` (threads).
+    kernel:
+        Counting-kernel spec for every query's window counting
+        (:data:`~repro.parallel.KERNEL_SPECS`; default ``"auto"``).  All
+        kernels are byte-identical; ``"fused"`` additionally builds and
+        caches a pair-code column per ``(candidate, grouping)`` attribute
+        pair in the prepared-artifact layer, so window counting degenerates
+        to take + bincount at the memory cost of one narrow column.
+    cpu_affinity:
+        Optional worker-placement policy (``"spread"`` / ``"compact"``) for
+        a worker-carrying backend created from a string spec; see
+        :mod:`~repro.parallel.affinity`.
     clock:
         The :class:`~repro.system.clock.Clock` every job of this session
         charges (default: a fresh :class:`SimulatedClock`).  A
@@ -408,6 +425,8 @@ class MatchSession:
         audit: bool = True,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        kernel: str = "auto",
+        cpu_affinity: str | None = None,
         clock: Clock | None = None,
         policy: str = "rr",
         max_cached_queries: int | None = None,
@@ -422,12 +441,15 @@ class MatchSession:
             )
         if max_cached_bytes is not None and max_cached_bytes < 1:
             raise ValueError(f"max_cached_bytes must be >= 1, got {max_cached_bytes}")
+        if kernel not in KERNEL_SPECS:
+            raise ValueError(f"kernel must be one of {KERNEL_SPECS}, got {kernel!r}")
         self.table = table
         self.block_size = block_size
         self.cost_model = cost_model
         self.audit = audit
+        self.kernel = kernel
         self._owns_backend = not isinstance(backend, ExecutionBackend)
-        self.backend = make_backend(backend, workers)
+        self.backend = make_backend(backend, workers, cpu_affinity)
         self.clock = clock if clock is not None else SimulatedClock()
         #: Observability: spans for this session's jobs, cache events, and
         #: (when the session owns its backend) backend fan-out windows.
@@ -453,6 +475,7 @@ class MatchSession:
         self._index_cache: dict = {}
         self._exact_cache: dict = {}
         self._filter_cache: dict = {}
+        self._codes_cache: dict = {}
         self._prepared_cache: OrderedDict = OrderedDict()
         self._submitted = 0
         self.closed = False
@@ -508,6 +531,12 @@ class MatchSession:
                     if prepared.row_filter is not None
                     else 0,
                 ),
+                (
+                    prepared.pair_codes,
+                    prepared.pair_codes.nbytes
+                    if prepared.pair_codes is not None
+                    else 0,
+                ),
             ):
                 if obj is None or id(obj) in seen:
                     continue
@@ -546,6 +575,16 @@ class MatchSession:
             }
             self._record_eviction("row_filter")
             unpublish.append(evicted.row_filter)
+        if evicted.pair_codes is not None and not any(
+            p.pair_codes is evicted.pair_codes for p in live
+        ):
+            self._codes_cache = {
+                k: v
+                for k, v in self._codes_cache.items()
+                if v is not evicted.pair_codes
+            }
+            self._record_eviction("pair_codes")
+            unpublish.append(evicted.pair_codes)
         if unpublish:
             self.backend.unpublish(*unpublish)
 
@@ -645,6 +684,27 @@ class MatchSession:
                 "row_filter",
                 lambda: query.predicate.mask(shuffled.table),
             )
+        pair_codes = None
+        if self.kernel == "fused":
+            # The fused kernel's prepared artifact: the pair-code column of
+            # the *shuffled* table, shared by every query over the same
+            # (candidate, grouping) attribute pair on this layout.
+            pair_codes = self._cached(
+                self._codes_cache,
+                (
+                    query.candidate_attribute,
+                    query.grouping_attribute,
+                    self.block_size,
+                    seed,
+                ),
+                "pair_codes",
+                lambda: build_pair_codes(
+                    shuffled.table.column(query.candidate_attribute),
+                    shuffled.table.column(query.grouping_attribute),
+                    shuffled.table.cardinality(query.candidate_attribute),
+                    shuffled.table.cardinality(query.grouping_attribute),
+                ),
+            )
         prepared = PreparedQuery(
             query=query,
             shuffled=shuffled,
@@ -652,6 +712,7 @@ class MatchSession:
             exact_counts=exact,
             target=target,
             row_filter=row_filter,
+            pair_codes=pair_codes,
         )
         self._prepared_cache[key] = prepared
         if self._governor is not None:
@@ -758,6 +819,7 @@ class MatchSession:
             tracer=self.tracer,
             tenant=self.tenant,
             profiler=job_profiler,
+            kernel=self.kernel,
         )
 
     def job_for_request(self, request, default_max_step_rows: int | None = None):

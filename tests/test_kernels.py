@@ -1,0 +1,473 @@
+"""Counting-kernel layer: byte-identity, auto-selection, bytes-moved
+accounting, the pair-code artifact cache, and affinity-aware placement.
+
+Acceptance properties of the native-speed-kernels PR:
+
+- every kernel (classic / narrow / fused) produces byte-identical count
+  matrices to a straight-line legacy reference, across stored dtypes,
+  code-space cardinalities, filter shapes, and block-subset geometries;
+- auto-selection picks the narrowest exact path and degrades gracefully
+  (``fused`` without a prepared code column falls back, never fails);
+- end-to-end runs are byte-identical (answers, simulated clock, RunReport
+  counters) across serial / threads / sharded x every kernel spec;
+- the fused kernel measurably moves fewer bytes than the classic one
+  (profiler ``bytes_moved``), which is the whole point;
+- ``MatchSession(kernel="fused")`` caches the pair-code column as a
+  prepared artifact: repeats hit, eviction releases it;
+- affinity planning is deterministic and pinning is best-effort everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HistSimConfig
+from repro.core.target import TargetSpec
+from repro.obs import Profiler
+from repro.parallel import (
+    AFFINITY_POLICIES,
+    KERNEL_SPECS,
+    ShardedBackend,
+    ThreadPoolBackend,
+    WorkerPool,
+    apply_affinity,
+    build_pair_codes,
+    count_shard,
+    count_window,
+    make_backend,
+    pair_code_dtype,
+    plan_affinity,
+    resolve_kernel,
+)
+from repro.query import Equals, HistogramQuery
+from repro.storage import CategoricalAttribute, ColumnTable, Schema
+from repro.storage.blocks import BlockLayout
+from repro.system import MatchSession
+
+
+# ---------------------------------------------------------------------------
+# pair-code dtype + auto-selection
+# ---------------------------------------------------------------------------
+
+
+class TestPairCodeDtype:
+    @pytest.mark.parametrize("c,g,expected", [
+        (1, 1, np.uint8),
+        (16, 16, np.uint8),          # 256 codes -> max 255 fits uint8
+        (16, 17, np.uint16),         # 272 codes -> uint16
+        (256, 256, np.uint16),       # 65536 codes -> max 65535 fits uint16
+        (256, 257, np.uint32),
+        (2**16, 2**16, np.uint32),   # 2^32 codes -> max 2^32-1 fits uint32
+        (2**17, 2**16, np.int64),    # over uint32: int64, never uint64
+    ])
+    def test_narrowest_dtype(self, c, g, expected):
+        assert pair_code_dtype(c, g) == np.dtype(expected)
+
+    def test_never_uint64(self):
+        # np.bincount rejects uint64 input; the fallback must be int64.
+        assert pair_code_dtype(2**32, 2**31) == np.dtype(np.int64)
+
+    def test_degenerate_zero(self):
+        assert pair_code_dtype(0, 0) == np.dtype(np.uint8)
+
+
+class TestResolveKernel:
+    def test_classic_always_wins_when_asked(self):
+        codes = np.zeros(4, dtype=np.uint8)
+        assert resolve_kernel("classic", 4, 4, codes=codes) == "classic"
+
+    def test_codes_force_fused(self):
+        codes = np.zeros(4, dtype=np.uint8)
+        assert resolve_kernel("auto", 4, 4, codes=codes) == "fused"
+        assert resolve_kernel("narrow", 4, 4, codes=codes) == "fused"
+
+    def test_auto_narrow_when_codes_fit(self):
+        assert resolve_kernel("auto", 16, 16) == "narrow"
+
+    def test_auto_classic_when_code_space_huge(self):
+        assert resolve_kernel("auto", 2**17, 2**16) == "classic"
+
+    def test_fused_without_codes_degrades(self):
+        assert resolve_kernel("fused", 16, 16) == "narrow"
+        assert resolve_kernel("fused", 2**17, 2**16) == "classic"
+
+    def test_rejects_unknown_spec(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("turbo", 4, 4)
+
+
+# ---------------------------------------------------------------------------
+# count_window byte-identity matrix
+# ---------------------------------------------------------------------------
+
+
+def legacy_reference(z, x, blocks, layout, c, g, row_filter=None, filter_slice=None):
+    """The pre-kernel serial arithmetic, verbatim (the identity oracle)."""
+    rows = layout.rows_of_blocks(np.asarray(blocks, dtype=np.int64))
+    zz = z[rows].astype(np.int64)
+    xx = x[rows].astype(np.int64)
+    keep = row_filter[rows] if row_filter is not None else filter_slice
+    if keep is not None:
+        zz = zz[keep]
+        xx = xx[keep]
+    flat = np.bincount(zz * g + xx, minlength=c * g)
+    return flat.reshape(c, g)
+
+
+def block_subsets(num_blocks):
+    return {
+        "all": np.arange(num_blocks, dtype=np.int64),
+        "contiguous": np.arange(2, min(9, num_blocks), dtype=np.int64),
+        "scattered": np.arange(0, num_blocks, 3, dtype=np.int64),
+        "single": np.array([num_blocks // 2], dtype=np.int64),
+    }
+
+
+class TestCountWindowIdentity:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.int64])
+    @pytest.mark.parametrize("c,g", [(7, 5), (40, 30), (300, 300)])
+    @pytest.mark.parametrize("filter_kind", ["none", "row_filter", "filter_slice"])
+    def test_all_kernels_match_legacy(self, dtype, c, g, filter_kind):
+        rng = np.random.default_rng(hash((c, g, filter_kind)) % 2**32)
+        n, block_size = 1003, 32  # short final block on purpose
+        layout = BlockLayout(num_rows=n, block_size=block_size)
+        z = rng.integers(0, c, size=n).astype(dtype)
+        x = rng.integers(0, g, size=n).astype(dtype)
+        codes = build_pair_codes(z, x, c, g)
+        row_filter = rng.random(n) < 0.6 if filter_kind == "row_filter" else None
+
+        for name, blocks in block_subsets(layout.num_blocks).items():
+            filter_slice = None
+            if filter_kind == "filter_slice":
+                rows = layout.rows_of_blocks(blocks)
+                filter_slice = rng.random(rows.size) < 0.6
+            expected = legacy_reference(
+                z, x, blocks, layout, c, g, row_filter, filter_slice
+            )
+            for kernel in KERNEL_SPECS:
+                counts, moved = count_window(
+                    z, x, blocks, layout, c, g,
+                    row_filter=row_filter, filter_slice=filter_slice,
+                    codes=codes if kernel == "fused" else None,
+                    kernel=kernel,
+                )
+                assert counts.dtype == np.int64
+                assert moved >= 0
+                np.testing.assert_array_equal(
+                    counts, expected,
+                    err_msg=f"kernel={kernel} subset={name} dtype={dtype}",
+                )
+
+    def test_empty_blocks(self):
+        layout = BlockLayout(num_rows=100, block_size=10)
+        z = np.zeros(100, dtype=np.uint8)
+        for kernel in KERNEL_SPECS:
+            counts, moved = count_window(
+                z, z, np.empty(0, dtype=np.int64), layout, 3, 3, kernel=kernel
+            )
+            assert counts.shape == (3, 3) and counts.sum() == 0 and moved == 0
+
+    def test_fused_single_run_unfiltered_moves_zero_bytes(self):
+        layout = BlockLayout(num_rows=640, block_size=32)
+        rng = np.random.default_rng(0)
+        z = rng.integers(0, 6, size=640).astype(np.uint8)
+        x = rng.integers(0, 4, size=640).astype(np.uint8)
+        codes = build_pair_codes(z, x, 6, 4)
+        blocks = np.arange(5, 15, dtype=np.int64)  # one contiguous run
+        counts, moved = count_window(
+            z, x, blocks, layout, 6, 4, codes=codes, kernel="fused"
+        )
+        assert moved == 0  # zero-copy slice view straight into bincount
+        np.testing.assert_array_equal(
+            counts, legacy_reference(z, x, blocks, layout, 6, 4)
+        )
+
+    def test_fused_and_narrow_move_fewer_bytes_than_classic(self):
+        layout = BlockLayout(num_rows=4096, block_size=32)
+        rng = np.random.default_rng(1)
+        z = rng.integers(0, 10, size=4096).astype(np.uint8)
+        x = rng.integers(0, 8, size=4096).astype(np.uint8)
+        codes = build_pair_codes(z, x, 10, 8)
+        blocks = np.arange(0, layout.num_blocks, 2, dtype=np.int64)
+        _, classic = count_window(z, x, blocks, layout, 10, 8, kernel="classic")
+        _, narrow = count_window(z, x, blocks, layout, 10, 8, kernel="narrow")
+        _, fused = count_window(
+            z, x, blocks, layout, 10, 8, codes=codes, kernel="fused"
+        )
+        assert narrow < 0.3 * classic  # no row-index array, no int64 upcast
+        assert fused < narrow  # one narrow column instead of two
+
+    def test_count_shard_wrapper_backward_compatible(self):
+        layout = BlockLayout(num_rows=320, block_size=32)
+        rng = np.random.default_rng(2)
+        z = rng.integers(0, 5, size=320)
+        x = rng.integers(0, 3, size=320)
+        blocks = np.arange(10, dtype=np.int64)
+        np.testing.assert_array_equal(
+            count_shard(z, x, blocks, layout, 5, 3),
+            legacy_reference(z, x, blocks, layout, 5, 3),
+        )
+
+
+class TestBuildPairCodes:
+    def test_codes_are_narrow_and_read_only(self):
+        z = np.array([0, 1, 2, 3], dtype=np.uint16)
+        x = np.array([1, 0, 1, 0], dtype=np.uint16)
+        codes = build_pair_codes(z, x, 4, 2)
+        assert codes.dtype == np.dtype(np.uint8)
+        np.testing.assert_array_equal(codes, [1, 2, 5, 6])
+        assert not codes.flags.writeable
+
+    def test_codes_exact_at_dtype_boundary(self):
+        c, g = 16, 16  # 256 codes: the last one is exactly uint8 max
+        z = np.array([15], dtype=np.uint8)
+        x = np.array([15], dtype=np.uint8)
+        codes = build_pair_codes(z, x, c, g)
+        assert codes.dtype == np.dtype(np.uint8) and codes[0] == 255
+
+
+# ---------------------------------------------------------------------------
+# end-to-end identity: backends x kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(77)
+    n = 40_000
+    candidates, groups = 12, 6
+    z = rng.integers(0, candidates, size=n)
+    x = np.empty(n, dtype=np.int64)
+    for c in range(candidates):
+        mask = z == c
+        base = np.full(groups, 1.0 / groups)
+        if c >= 2:
+            base[c % groups] += 0.6
+            base /= base.sum()
+        x[mask] = rng.choice(groups, size=int(mask.sum()), p=base)
+    schema = Schema(
+        (
+            CategoricalAttribute("product", tuple(f"p{i}" for i in range(candidates))),
+            CategoricalAttribute("age", tuple(f"a{i}" for i in range(groups))),
+            CategoricalAttribute("channel", ("web", "store")),
+        )
+    )
+    return ColumnTable(
+        schema,
+        {"product": z, "age": x, "channel": rng.integers(0, 2, size=n)},
+    )
+
+
+QUERY = HistogramQuery(
+    "product", "age", target=TargetSpec(kind="closest_to_uniform"), k=3,
+    name="uniform",
+)
+FILTERED_QUERY = HistogramQuery(
+    "product", "age", target=TargetSpec(kind="closest_to_uniform"), k=3,
+    predicate=Equals("channel", 0), name="filtered",
+)
+
+
+def run_session(table, query, *, kernel, backend="serial", workers=None,
+                profiler=None):
+    config = HistSimConfig(k=query.k, epsilon=0.15, delta=0.05, sigma=0.0)
+    with MatchSession(
+        table, backend=backend, workers=workers, kernel=kernel,
+        profiler=profiler,
+    ) as session:
+        return session.match(query, config=config, seed=5)
+
+
+class TestEndToEndIdentity:
+    @pytest.mark.parametrize("query", [QUERY, FILTERED_QUERY],
+                             ids=["plain", "filtered"])
+    def test_backends_x_kernels_byte_identical(self, table, query):
+        baseline = run_session(table, query, kernel="classic")
+        backends = [
+            ("serial", None),
+            ("threads", 2),
+            ("sharded", 2),
+        ]
+        for backend, workers in backends:
+            for kernel in KERNEL_SPECS:
+                outcome = run_session(
+                    table, query, kernel=kernel, backend=backend, workers=workers
+                )
+                report = outcome.report
+                assert report.result.matching == baseline.report.result.matching
+                np.testing.assert_array_equal(
+                    report.result.histograms, baseline.report.result.histograms
+                )
+                np.testing.assert_array_equal(
+                    report.result.distances, baseline.report.result.distances
+                )
+                # Same simulated clock and same observable effort: kernel
+                # choice changes bytes moved, never the answer or the cost.
+                assert report.elapsed_ns == baseline.report.elapsed_ns
+                assert report.counters == baseline.report.counters
+
+    def test_fused_profile_moves_measurably_fewer_bytes(self, table):
+        moved = {}
+        for kernel in ("classic", "fused"):
+            profiler = Profiler()
+            outcome = run_session(table, QUERY, kernel=kernel, profiler=profiler)
+            moved[kernel] = outcome.report.profile["totals"]["bytes_moved"]
+        assert moved["fused"] > 0  # filters/multi-run gathers still copy
+        # The acceptance bar is >= 30% fewer bytes; in practice it is ~95%.
+        assert moved["fused"] < 0.7 * moved["classic"]
+
+
+# ---------------------------------------------------------------------------
+# session-level pair-code artifact cache
+# ---------------------------------------------------------------------------
+
+
+class TestPairCodeCache:
+    def test_fused_session_caches_and_reuses_codes(self, table):
+        config = HistSimConfig(k=3, epsilon=0.15, delta=0.05, sigma=0.0)
+        with MatchSession(table, kernel="fused") as session:
+            first = session.prepared(QUERY, seed=5)
+            assert first.pair_codes is not None
+            assert first.pair_codes.dtype == pair_code_dtype(12, 6)
+            assert session.cache_stats.misses.get("pair_codes") == 1
+            # Same (z, x, layout, seed): the column is shared, not rebuilt.
+            again = session.prepared(FILTERED_QUERY, seed=5)
+            assert again.pair_codes is first.pair_codes
+            assert session.cache_stats.hits.get("pair_codes") == 1
+            session.match(QUERY, config=config, seed=5)
+
+    def test_classic_session_builds_no_codes(self, table):
+        with MatchSession(table, kernel="classic") as session:
+            assert session.prepared(QUERY, seed=5).pair_codes is None
+            assert "pair_codes" not in session.cache_stats.misses
+
+    def test_eviction_releases_pair_codes(self, table):
+        channel_query = HistogramQuery(
+            "product", "channel", target=TargetSpec(kind="closest_to_uniform"),
+            k=2, name="channel",
+        )
+        with MatchSession(table, kernel="fused") as session:
+            prepared = session.prepared(QUERY, seed=5)
+            nbytes = prepared.pair_codes.nbytes
+            # A second entry over a different (z, x) pair: its own code
+            # column, and QUERY stops being the protected most-recent entry.
+            session.prepared(channel_query, seed=5)
+            before = session.cache_bytes
+            assert before >= nbytes
+            assert session.evict_prepared((QUERY, session.block_size, 5))
+            assert session.cache_stats.evictions.get("pair_codes") == 1
+            assert session.cache_bytes <= before - nbytes
+
+    def test_rejects_unknown_kernel(self, table):
+        with pytest.raises(ValueError):
+            MatchSession(table, kernel="turbo")
+
+
+# ---------------------------------------------------------------------------
+# affinity planning + placement
+# ---------------------------------------------------------------------------
+
+
+class TestAffinity:
+    def test_none_disables(self):
+        assert plan_affinity(None, 4) is None
+        assert plan_affinity("none", 4) is None
+
+    def test_spread_spaces_workers_evenly(self):
+        cpus = tuple(range(8))
+        assert plan_affinity("spread", 2, cpus) == [{0}, {4}]
+        assert plan_affinity("spread", 4, cpus) == [{0}, {2}, {4}, {6}]
+
+    def test_compact_packs_low_cpus(self):
+        cpus = tuple(range(8))
+        assert plan_affinity("compact", 3, cpus) == [{0}, {1}, {2}]
+
+    def test_oversubscribed_wraps(self):
+        cpus = (0, 1)
+        assert plan_affinity("spread", 5, cpus) == [{0}, {1}, {0}, {1}, {0}]
+        assert plan_affinity("compact", 5, cpus) == [{0}, {1}, {0}, {1}, {0}]
+
+    def test_single_cpu_host(self):
+        assert plan_affinity("spread", 3, (0,)) == [{0}, {0}, {0}]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_affinity("diagonal", 2)
+        with pytest.raises(ValueError):
+            plan_affinity("spread", 0)
+
+    def test_apply_affinity_best_effort(self):
+        import os
+
+        cpus = plan_affinity("compact", 1)
+        if hasattr(os, "sched_setaffinity"):
+            # Re-pinning ourselves to our own full CPU set must succeed.
+            assert apply_affinity(0, set(os.sched_getaffinity(0)))
+            assert not apply_affinity(0, {10**6})  # nonexistent CPU
+        else:  # pragma: no cover - non-Linux
+            assert apply_affinity(0, cpus[0]) is False
+
+    def test_worker_pool_pins_and_counts(self):
+        with WorkerPool(2, cpu_affinity="compact") as pool:
+            import os
+
+            expected = 2 if hasattr(os, "sched_setaffinity") else 0
+            assert pool.affinity_applied == expected
+
+    def test_thread_backend_pins_on_first_use(self, table):
+        backend = ThreadPoolBackend(2, min_shard_rows=0, cpu_affinity="spread")
+        try:
+            outcome_a = run_session(table, QUERY, kernel="auto")
+            config = HistSimConfig(k=3, epsilon=0.15, delta=0.05, sigma=0.0)
+            with MatchSession(table, backend=backend, kernel="auto") as session:
+                outcome_b = session.match(QUERY, config=config, seed=5)
+            import os
+
+            if hasattr(os, "sched_setaffinity"):
+                assert backend.affinity_applied == 2
+            assert backend.describe()["cpu_affinity"] == "spread"
+            assert (
+                outcome_b.report.result.matching
+                == outcome_a.report.result.matching
+            )
+        finally:
+            backend.close()
+
+    def test_backend_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(2, cpu_affinity="diagonal")
+        with pytest.raises(ValueError):
+            plan_affinity("diagonal", 2, (0, 1))
+
+
+class TestMakeBackendAffinity:
+    def test_policy_tuple_is_canonical(self):
+        assert AFFINITY_POLICIES == ("none", "spread", "compact")
+
+    def test_none_string_normalized(self):
+        backend = make_backend("threads", 2, "none")
+        try:
+            assert backend.cpu_affinity is None
+        finally:
+            backend.close()
+
+    def test_serial_rejects_affinity(self):
+        with pytest.raises(ValueError):
+            make_backend("serial", None, "spread")
+
+    def test_instance_rejects_affinity_override(self):
+        backend = ShardedBackend(2)
+        try:
+            with pytest.raises(ValueError):
+                make_backend(backend, None, "spread")
+        finally:
+            backend.close()
+
+    def test_worker_backends_accept_affinity(self):
+        for spec in ("threads", "sharded"):
+            backend = make_backend(spec, 2, "compact")
+            try:
+                assert backend.describe()["cpu_affinity"] == "compact"
+            finally:
+                backend.close()
